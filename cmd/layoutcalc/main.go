@@ -1,0 +1,32 @@
+// Command layoutcalc prints the paper's Table 1 area model and the
+// Section 3.2 wire-distance feasibility analysis.
+//
+// Usage:
+//
+//	layoutcalc [-regs N] [-iq N] [-distances]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+func main() {
+	regs := flag.Int("regs", 48, "registers per file")
+	iq := flag.Int("iq", 16, "issue queue entries per side")
+	distOnly := flag.Bool("distances", false, "print only the distance analysis")
+	flag.Parse()
+
+	cfg := layout.DefaultConfig()
+	cfg.Registers = *regs
+	cfg.IssueQueueEntries = *iq
+
+	if !*distOnly {
+		fmt.Println("Table 1: area of the main cluster blocks")
+		fmt.Print(layout.Table1(cfg))
+		fmt.Println()
+	}
+	fmt.Print(layout.Report(cfg))
+}

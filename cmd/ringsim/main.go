@@ -1,0 +1,91 @@
+// Command ringsim simulates one machine configuration on one or more
+// workload programs and prints the per-program statistics.
+//
+// Usage:
+//
+//	ringsim [-arch ring|conv] [-clusters 4|8] [-iw 1|2] [-buses 1|2]
+//	        [-hop N] [-steer enhanced|ssa] [-insts N] [-warmup N]
+//	        [-progs name,name,...|all|int|fp] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "ring", "architecture: ring or conv")
+	clusters := flag.Int("clusters", 8, "number of clusters (4 or 8)")
+	iw := flag.Int("iw", 2, "per-side issue width per cluster (1 or 2)")
+	buses := flag.Int("buses", 1, "number of buses (1 or 2)")
+	hop := flag.Int("hop", 1, "bus latency per hop in cycles")
+	steer := flag.String("steer", "enhanced", "steering: enhanced or ssa")
+	insts := flag.Uint64("insts", 300_000, "measured instructions per program")
+	warmup := flag.Uint64("warmup", 50_000, "warm-up instructions (not measured)")
+	progs := flag.String("progs", "all", "programs: comma list, or all/int/fp")
+	verbose := flag.Bool("v", false, "print extra statistics")
+	flag.Parse()
+
+	archKind := core.ArchRing
+	if strings.EqualFold(*arch, "conv") {
+		archKind = core.ArchConv
+	} else if !strings.EqualFold(*arch, "ring") {
+		fmt.Fprintf(os.Stderr, "ringsim: unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+	cfg, err := core.PaperConfig(archKind, *clusters, *iw, *buses)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(2)
+	}
+	if *hop != 1 {
+		cfg = cfg.WithHopLatency(*hop)
+	}
+	if strings.EqualFold(*steer, "ssa") {
+		cfg = cfg.WithSteer(core.SteerSimple)
+	}
+
+	var names []string
+	switch strings.ToLower(*progs) {
+	case "all":
+		names = workload.Names()
+	case "int":
+		names = workload.SuiteNames(workload.ClassInt)
+	case "fp":
+		names = workload.SuiteNames(workload.ClassFP)
+	default:
+		names = strings.Split(*progs, ",")
+	}
+
+	fmt.Printf("configuration: %s\n", cfg.Name)
+	fmt.Printf("%-10s %7s %8s %7s %7s %8s %8s\n",
+		"program", "IPC", "comms/i", "dist", "wait", "NREADY", "mispred")
+	res, err := harness.Grid([]core.Config{cfg}, names, *insts, *warmup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+	for _, p := range names {
+		r := res[harness.Key{Config: cfg.Name, Program: p}]
+		st := r.Stats
+		fmt.Printf("%-10s %7.3f %8.3f %7.2f %7.2f %8.2f %7.1f%%\n",
+			p, st.IPC(), st.CommsPerInst(), st.AvgCommDistance(),
+			st.AvgCommWait(), st.AvgNReady(), 100*st.MispredictRate())
+		if *verbose {
+			fmt.Printf("           cycles=%d committed=%d loads=%d stores=%d fwd=%d stalls[iq=%d regs=%d rob=%d lsq=%d comm=%d]\n",
+				st.Cycles, st.Committed, st.Loads, st.Stores, st.LoadFwds,
+				st.StallIQ, st.StallRegs, st.StallROB, st.StallLSQ, st.StallComm)
+			fmt.Printf("           dispatch share:")
+			for c := 0; c < cfg.Clusters; c++ {
+				fmt.Printf(" %5.1f%%", 100*st.ClusterShare(c))
+			}
+			fmt.Println()
+		}
+	}
+}

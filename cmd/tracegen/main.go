@@ -1,0 +1,126 @@
+// Command tracegen generates synthetic SPEC2000-like traces, writes them in
+// the binary trace format, and inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -prog swim -n 100000 -o swim.trc    # generate and save
+//	tracegen -inspect swim.trc                   # validate and summarize
+//	tracegen -prog swim -n 20 -dump              # print instructions
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	prog := flag.String("prog", "", "workload profile name (see -list)")
+	n := flag.Uint64("n", 100_000, "number of instructions")
+	out := flag.String("o", "", "output trace file")
+	dump := flag.Bool("dump", false, "print instructions to stdout")
+	inspect := flag.String("inspect", "", "validate and summarize a trace file")
+	list := flag.Bool("list", false, "list workload profiles")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("INT:", workload.SuiteNames(workload.ClassInt))
+		fmt.Println("FP: ", workload.SuiteNames(workload.ClassFP))
+	case *inspect != "":
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	case *prog != "":
+		if err := generate(*prog, *n, *out, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(prog string, n uint64, out string, dump bool) error {
+	p, err := workload.ByName(prog)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+	stream := trace.NewLimit(gen, n)
+
+	var w *trace.Writer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if w, err = trace.NewWriter(f); err != nil {
+			return err
+		}
+	}
+	var counts [isa.NumClasses]uint64
+	var total uint64
+	for {
+		in, err := stream.Next()
+		if errors.Is(err, trace.ErrEnd) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		counts[in.Class]++
+		total++
+		if dump {
+			fmt.Println(in.String())
+		}
+		if w != nil {
+			if err := w.Write(&in); err != nil {
+				return err
+			}
+		}
+	}
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", total, out)
+	}
+	fmt.Fprintf(os.Stderr, "mix:")
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if counts[c] > 0 {
+			fmt.Fprintf(os.Stderr, " %s=%.1f%%", c, 100*float64(counts[c])/float64(total))
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	n, err := trace.Validate(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d valid instructions\n", path, n)
+	return nil
+}

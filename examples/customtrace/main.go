@@ -1,0 +1,76 @@
+// Custom trace: build the paper's Figure 2 example by hand (extended into
+// a loop), run it through both machines, and print where each instruction
+// was steered — a direct, inspectable view of the steering algorithms.
+//
+//	go run ./examples/customtrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// reg builds an integer register operand.
+func reg(i uint8) isa.Reg { return isa.Reg{Kind: isa.IntReg, Idx: i} }
+
+// buildKernel expands the paper's Figure 2 code into `iters` loop
+// iterations:
+//
+//	I1. R1 = 1          (no sources)
+//	I2. R2 = R1 + 1
+//	I3. R3 = R1 + R2
+//	I4. R4 = R1 + R3
+//	I5. R5 = R1 x 3
+func buildKernel(iters int) []isa.Inst {
+	var insts []isa.Inst
+	seq := uint64(0)
+	pc := uint64(0x1000)
+	emit := func(class isa.Class, dest uint8, srcs ...uint8) {
+		in := isa.Inst{Seq: seq, PC: pc, Class: class, HasDest: true, Dest: reg(dest)}
+		for i, s := range srcs {
+			in.Src[i] = reg(s)
+			in.NumSrcs++
+			_ = i
+		}
+		insts = append(insts, in)
+		seq++
+		pc += 4
+	}
+	for it := 0; it < iters; it++ {
+		emit(isa.IntALU, 1)       // I1: R1 = 1
+		emit(isa.IntALU, 2, 1)    // I2: R2 = R1 + 1
+		emit(isa.IntALU, 3, 1, 2) // I3: R3 = R1 + R2
+		emit(isa.IntALU, 4, 1, 3) // I4: R4 = R1 + R3
+		emit(isa.IntMult, 5, 1)   // I5: R5 = R1 x 3
+	}
+	return insts
+}
+
+func main() {
+	kernel := buildKernel(2000)
+	for _, arch := range []core.ArchKind{core.ArchRing, core.ArchConv} {
+		cfg := core.MustPaperConfig(arch, 4, 2, 1)
+		m, err := core.New(cfg, trace.NewSlice(kernel))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := m.Run(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: IPC=%.3f comms/inst=%.3f NREADY=%.2f dispatch share:",
+			cfg.Name, stats.IPC(), stats.CommsPerInst(), stats.AvgNReady())
+		for c := 0; c < cfg.Clusters; c++ {
+			fmt.Printf(" %4.1f%%", 100*stats.ClusterShare(c))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The ring machine spreads the Figure 2 kernel across all clusters")
+	fmt.Println("(each dependence step advances one cluster); the conventional")
+	fmt.Println("machine keeps the chain in place until DCOUNT forces a move.")
+}

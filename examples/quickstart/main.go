@@ -1,0 +1,50 @@
+// Quickstart: simulate one SPEC2000-like program on the ring clustered
+// machine and the conventional baseline, and compare the statistics the
+// paper's evaluation is built on.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	const program = "swim" // a communication-hungry SPECfp2000 profile
+
+	for _, arch := range []core.ArchKind{core.ArchRing, core.ArchConv} {
+		// The paper's 8-cluster, 2 INT + 2 FP issue, single-bus machine.
+		cfg := core.MustPaperConfig(arch, 8, 2, 1)
+
+		prof, err := workload.ByName(program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		m, err := core.New(cfg, trace.NewLimit(gen, 200_000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := m.Run(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s on %s:\n", program, cfg.Name)
+		fmt.Printf("  IPC                      %.3f\n", stats.IPC())
+		fmt.Printf("  communications per inst  %.3f\n", stats.CommsPerInst())
+		fmt.Printf("  avg comm distance (hops) %.2f\n", stats.AvgCommDistance())
+		fmt.Printf("  avg bus contention (cyc) %.2f\n", stats.AvgCommWait())
+		fmt.Printf("  workload imbalance       %.2f (NREADY)\n", stats.AvgNReady())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,42 @@
+// Steering comparison: the paper's Section 4.7 experiment on a single
+// machine pair — how much each architecture loses when its steering is
+// simplified to SSA (leftmost operand, no balance control), and why the
+// ring machine barely cares.
+//
+//	go run ./examples/steering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	progs := []string{"gzip", "mcf", "swim", "mgrid"}
+	configs := []core.Config{
+		core.MustPaperConfig(core.ArchRing, 8, 1, 2),
+		core.MustPaperConfig(core.ArchRing, 8, 1, 2).WithSteer(core.SteerSimple),
+		core.MustPaperConfig(core.ArchConv, 8, 1, 2),
+		core.MustPaperConfig(core.ArchConv, 8, 1, 2).WithSteer(core.SteerSimple),
+	}
+	res, err := harness.Grid(configs, progs, 150_000, 30_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %28s %8s %10s %8s\n", "program", "configuration", "IPC", "comms/inst", "NREADY")
+	for _, p := range progs {
+		for _, cfg := range configs {
+			st := res[harness.Key{Config: cfg.Name, Program: p}].Stats
+			fmt.Printf("%-10s %28s %8.3f %10.3f %8.2f\n",
+				p, cfg.Name, st.IPC(), st.CommsPerInst(), st.AvgNReady())
+		}
+		fmt.Println()
+	}
+	fmt.Println("Ring keeps its performance under SSA because the dependence-based")
+	fmt.Println("placement is inherently balanced; Conv+SSA concentrates work in a")
+	fmt.Println("few clusters and collapses (Section 4.7).")
+}

@@ -1,0 +1,39 @@
+// Wire scaling: Section 4.6 widened — sweep the bus hop latency from 1 to
+// 4 cycles and watch the ring machine's advantage grow as wires get slower
+// relative to logic (the paper's scalability argument).
+//
+//	go run ./examples/wirescaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	progs := workload.SuiteNames(workload.ClassFP)
+
+	fmt.Printf("%-10s %12s %12s %10s\n", "hop (cyc)", "Ring FP IPC", "Conv FP IPC", "speedup")
+	for hop := 1; hop <= 4; hop++ {
+		ring := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
+		conv := core.MustPaperConfig(core.ArchConv, 8, 2, 1)
+		if hop != 1 {
+			ring = ring.WithHopLatency(hop)
+			conv = conv.WithHopLatency(hop)
+		}
+		res, err := harness.Grid([]core.Config{ring, conv}, progs, 100_000, 20_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc := func(cfg string) float64 {
+			return harness.Aggregate(res, cfg, harness.SuiteFP,
+				func(s *core.Stats) float64 { return s.IPC() })
+		}
+		sp := harness.Speedup(res, ring.Name, conv.Name, harness.SuiteFP)
+		fmt.Printf("%-10d %12.3f %12.3f %9.1f%%\n", hop, ipc(ring.Name), ipc(conv.Name), 100*sp)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestAblateCommModel compares Ring and Conv under progressively idealized
+// communication, attributing the performance gap between steering quality
+// and interconnect limits (diagnostic aid; also exercises the ablation
+// knobs).
+func TestAblateCommModel(t *testing.T) {
+	for _, prog := range []string{"swim", "gzip", "mgrid"} {
+		for _, cm := range []CommModel{CommBuses, CommNoContention, CommInstant} {
+			for _, arch := range []ArchKind{ArchRing, ArchConv} {
+				cfg := MustPaperConfig(arch, 8, 1, 1)
+				cfg.Comm = cm
+				prof, _ := workload.ByName(prog)
+				gen, _ := workload.NewGenerator(prof)
+				m, err := New(cfg, trace.NewLimit(gen, 30000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := m.Run(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%s %s %-14s IPC=%.3f comms=%.3f dist=%.2f wait=%.2f nready=%.2f (int %.2f fp %.2f) stalls[iq=%d regs=%d comm=%d mt=%d]",
+					prog, arch, cm, st.IPC(), st.CommsPerInst(), st.AvgCommDistance(), st.AvgCommWait(), st.AvgNReady(),
+					float64(st.NReadyInt)/float64(st.Cycles), float64(st.NReadyFP)/float64(st.Cycles),
+					st.StallIQ, st.StallRegs, st.StallComm, st.StallFetchMt)
+			}
+		}
+	}
+}

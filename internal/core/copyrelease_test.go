@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runPolicy simulates prog under the given copy-release policy.
+func runPolicy(t *testing.T, pol CopyRelease, prog string, n uint64) (Stats, *Machine) {
+	t.Helper()
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	cfg.Copies = pol
+	prof, err := workload.ByName(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, trace.NewLimit(gen, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m
+}
+
+// TestReleaseOnReadConservation: the alternative policy must drain
+// cleanly with the same value-table invariant and no register leaks.
+func TestReleaseOnReadConservation(t *testing.T) {
+	for _, prog := range []string{"swim", "gzip", "mcf"} {
+		st, m := runPolicy(t, ReleaseOnRead, prog, 20000)
+		if st.Committed != 20000 {
+			t.Fatalf("%s: committed %d", prog, st.Committed)
+		}
+		if live := m.vals.liveCount(); live != 64 {
+			t.Fatalf("%s: %d live values after drain", prog, live)
+		}
+	}
+}
+
+// TestReleaseOnReadTradeoff checks the paper's stated trade-off: releasing
+// copies on read lowers register pressure and raises the communication
+// count relative to releasing at redefinition.
+func TestReleaseOnReadTradeoff(t *testing.T) {
+	redef, _ := runPolicy(t, ReleaseOnRedefine, "swim", 40000)
+	read, _ := runPolicy(t, ReleaseOnRead, "swim", 40000)
+	if read.Comms < redef.Comms {
+		t.Errorf("release-on-read made fewer communications (%d) than release-on-redefine (%d)",
+			read.Comms, redef.Comms)
+	}
+	if read.PeakRegsInt+read.PeakRegsFP >= redef.PeakRegsInt+redef.PeakRegsFP {
+		t.Errorf("release-on-read did not lower peak register pressure: %d+%d vs %d+%d",
+			read.PeakRegsInt, read.PeakRegsFP, redef.PeakRegsInt, redef.PeakRegsFP)
+	}
+}
+
+// TestReleaseOnReadDeterminism: the policy must stay bit-reproducible.
+func TestReleaseOnReadDeterminism(t *testing.T) {
+	a, _ := runPolicy(t, ReleaseOnRead, "equake", 15000)
+	b, _ := runPolicy(t, ReleaseOnRead, "equake", 15000)
+	if a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCopyReleaseString covers the policy labels.
+func TestCopyReleaseString(t *testing.T) {
+	if ReleaseOnRedefine.String() != "release-on-redefine" || ReleaseOnRead.String() != "release-on-read" {
+		t.Fatal("policy labels wrong")
+	}
+}

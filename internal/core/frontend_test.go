@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestTakenBranchEndsFetchGroup: fetch stops at taken branches, so a
+// program that takes a branch every fourth instruction cannot sustain the
+// full 8-wide front end even when the back end is wide open.
+func TestTakenBranchEndsFetchGroup(t *testing.T) {
+	const n = 12000
+	const blockLen = 4 // 3 ALU ops + 1 taken branch
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		block := (i / blockLen) % 16
+		pos := i % blockLen
+		pc := 0x1000 + uint64(block)*0x40 + uint64(pos)*4
+		if pos == blockLen-1 {
+			next := 0x1000 + uint64((block+1)%16)*0x40
+			insts[i] = isa.Inst{
+				Seq: uint64(i), PC: pc, Class: isa.Branch,
+				Taken: true, Target: next,
+			}
+			continue
+		}
+		insts[i] = isa.Inst{
+			Seq: uint64(i), PC: pc, Class: isa.IntALU,
+			HasDest: true, Dest: ireg(uint8(1 + i%20)),
+		}
+	}
+	st, _ := runMeasured(t, MustPaperConfig(ArchRing, 4, 2, 1), insts, 3000)
+	// Fetch delivers at most one block (4 instructions) per cycle once
+	// the predictor and BTB are warm; it must get close to that and must
+	// never exceed it.
+	if ipc := st.IPC(); ipc > 4.05 || ipc < 2.5 {
+		t.Fatalf("taken-branch-limited IPC = %.3f, want in (2.5, 4.05]", ipc)
+	}
+	if st.MispredictRate() > 0.02 {
+		t.Fatalf("fully regular branches mispredicted %.3f", st.MispredictRate())
+	}
+}
+
+// TestDCachePortLimit: more simultaneous independent loads than D-cache
+// ports must record port-blocked issue attempts.
+func TestDCachePortLimit(t *testing.T) {
+	const n = 8000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		in := isa.Inst{
+			Seq: uint64(i), PC: 0x1000 + uint64(i%64)*4, Class: isa.Load,
+			HasDest: true, Dest: isa.Reg{Kind: isa.IntReg, Idx: uint8(1 + i%20)},
+			EffAddr: uint64(0x1000 + (i%256)*8), NumSrcs: 1,
+		}
+		in.Src[0] = ireg(21) // live-in base: all loads independent
+		insts[i] = in
+	}
+	st, _ := run(t, MustPaperConfig(ArchConv, 8, 2, 1), insts)
+	if st.Committed != n {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	// 8 clusters can present up to 8 ready loads per cycle against 4
+	// ports: blocking must be visible.
+	if st.DCacheBusy == 0 {
+		t.Error("no D-cache port contention from an all-load stream")
+	}
+}
+
+// TestICacheFootprintCostsFetch: the same instruction stream spread over
+// a footprint larger than the 64KB L1I runs slower than when it fits.
+func TestICacheFootprintCostsFetch(t *testing.T) {
+	mk := func(footprint uint64) []isa.Inst {
+		const n = 30000
+		insts := make([]isa.Inst, n)
+		lines := footprint / 32
+		for i := range insts {
+			// March through the footprint line by line so every new
+			// line is an L1I access; small footprints stay resident.
+			line := uint64(i) % lines
+			insts[i] = isa.Inst{
+				Seq: uint64(i), PC: 0x400000 + line*32 + uint64(i%8)*4,
+				Class: isa.IntALU, HasDest: true, Dest: ireg(uint8(1 + i%20)),
+			}
+		}
+		return insts
+	}
+	small, _ := runMeasured(t, MustPaperConfig(ArchRing, 4, 2, 1), mk(16<<10), 4000)
+	big, _ := runMeasured(t, MustPaperConfig(ArchRing, 4, 2, 1), mk(1<<20), 4000)
+	if big.IPC() >= small.IPC() {
+		t.Fatalf("1MB code footprint (%.3f IPC) not slower than 16KB (%.3f IPC)",
+			big.IPC(), small.IPC())
+	}
+}
+
+// TestMispredictPenaltyScalesWithResolveTime: a mispredicting branch fed
+// by a long-latency producer (integer divide) resolves late, so the same
+// mispredict rate costs more cycles than an ALU-fed one.
+func TestMispredictPenaltyScalesWithResolveTime(t *testing.T) {
+	mk := func(feeder isa.Class) []isa.Inst {
+		const n = 6000
+		var insts []isa.Inst
+		lcg := uint32(7)
+		for i := 0; len(insts) < n; i++ {
+			f := isa.Inst{
+				Seq: uint64(len(insts)), PC: 0x1000, Class: feeder,
+				HasDest: true, Dest: ireg(5),
+			}
+			insts = append(insts, f)
+			lcg = lcg*1664525 + 1013904223
+			taken := lcg&0x10000 != 0
+			br := isa.Inst{
+				Seq: uint64(len(insts)), PC: 0x1010, Class: isa.Branch,
+				NumSrcs: 1, Taken: taken,
+			}
+			br.Src[0] = ireg(5)
+			if taken {
+				br.Target = 0x1020
+			}
+			insts = append(insts, br)
+			for k := 0; k < 4; k++ {
+				insts = append(insts, isa.Inst{
+					Seq: uint64(len(insts)), PC: 0x1020 + uint64(k)*4,
+					Class: isa.IntALU, HasDest: true, Dest: ireg(uint8(6 + k)),
+				})
+			}
+		}
+		return insts[:n]
+	}
+	cfg := MustPaperConfig(ArchConv, 4, 2, 1)
+	fast, _ := runMeasured(t, cfg, mk(isa.IntALU), 1500)
+	slow, _ := runMeasured(t, cfg, mk(isa.IntDiv), 1500)
+	if slow.IPC() >= fast.IPC()*0.8 {
+		t.Fatalf("late-resolving mispredicts not costlier: div-fed %.3f vs alu-fed %.3f IPC",
+			slow.IPC(), fast.IPC())
+	}
+}

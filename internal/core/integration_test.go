@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEveryProfileOnEveryArch runs the whole synthetic SPEC2000 suite on
+// both machines and checks global invariants per run: everything commits,
+// IPC plausible, no value/register leaks, distances within the ring, and
+// the per-suite character (FP programs communicate more than INT on
+// average).
+func TestEveryProfileOnEveryArch(t *testing.T) {
+	const n = 12000
+	for _, arch := range []ArchKind{ArchRing, ArchConv} {
+		var intComms, fpComms float64
+		var intN, fpN int
+		for _, prof := range workload.Profiles() {
+			gen, err := workload.NewGenerator(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := MustPaperConfig(arch, 8, 2, 1)
+			m, err := New(cfg, trace.NewLimit(gen, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Run(0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, prof.Name, err)
+			}
+			if st.Committed != n {
+				t.Errorf("%s/%s: committed %d", cfg.Name, prof.Name, st.Committed)
+			}
+			if ipc := st.IPC(); ipc < 0.05 || ipc > 8 {
+				t.Errorf("%s/%s: IPC %.3f implausible", cfg.Name, prof.Name, ipc)
+			}
+			if live := m.vals.liveCount(); live != 64 {
+				t.Errorf("%s/%s: %d live values", cfg.Name, prof.Name, live)
+			}
+			if d := st.AvgCommDistance(); st.Comms > 0 && (d < 1 || d > 7) {
+				t.Errorf("%s/%s: distance %.2f", cfg.Name, prof.Name, d)
+			}
+			for c := 0; c < 8; c++ {
+				for kind := 0; kind < 2; kind++ {
+					if used := m.files.Used(c, isa.RegFileKind(kind)); used > isa.NumArchRegs {
+						t.Errorf("%s/%s: cluster %d kind %d holds %d regs after drain",
+							cfg.Name, prof.Name, c, kind, used)
+					}
+				}
+			}
+			if prof.Class == workload.ClassInt {
+				intComms += st.CommsPerInst()
+				intN++
+			} else {
+				fpComms += st.CommsPerInst()
+				fpN++
+			}
+		}
+		if fpComms/float64(fpN) <= intComms/float64(intN) {
+			t.Errorf("%s: FP suite comms (%.3f) not above INT suite (%.3f)",
+				arch, fpComms/float64(fpN), intComms/float64(intN))
+		}
+	}
+}
+
+// TestCommTimingExact pins the end-to-end communication latency: with one
+// producer in cluster 0 and a consumer forced to a remote cluster, the
+// consumer's completion time reflects hop latency exactly. We build this
+// with a two-chain join kernel whose steering is deterministic, and check
+// against the CommNoContention model where arrival = ready + dist*hop.
+func TestCommTimingExact(t *testing.T) {
+	// Compare hop=1 vs hop=2 under CommNoContention: every communicated
+	// operand takes exactly dist*hop, so the IPC gap must be consistent
+	// with CommHops: cycles(hop2) - cycles(hop1) <= CommHops (each hop
+	// adds at most one cycle of critical path per communication).
+	mk := func() []isa.Inst {
+		var insts []isa.Inst
+		for i := 0; i < 4000; i++ {
+			in := isa.Inst{
+				Seq: uint64(i), PC: 0x1000 + uint64(i%64)*4, Class: isa.IntALU,
+				HasDest: true, Dest: ireg(uint8(1 + i%10)), NumSrcs: 2,
+			}
+			in.Src[0] = ireg(uint8(1 + (i+9)%10))
+			in.Src[1] = ireg(uint8(1 + (i+5)%10))
+			insts = append(insts, in)
+		}
+		return insts
+	}
+	base := MustPaperConfig(ArchRing, 8, 2, 1)
+	base.Comm = CommNoContention
+	st1, _ := run(t, base, mk())
+	slow := base.WithHopLatency(2)
+	slow.Comm = CommNoContention
+	st2, _ := run(t, slow, mk())
+	if st2.Cycles <= st1.Cycles {
+		t.Fatalf("doubling hop latency did not cost cycles: %d vs %d", st2.Cycles, st1.Cycles)
+	}
+	if extra := st2.Cycles - st1.Cycles; extra > st2.CommHops+st2.Cycles/10 {
+		t.Fatalf("hop doubling cost %d cycles but only %d hops travelled", extra, st2.CommHops)
+	}
+}
+
+// TestCommQueueCapacityStalls: with a tiny comm queue, a join-heavy kernel
+// must record comm-queue dispatch stalls rather than wedging or leaking.
+func TestCommQueueCapacityStalls(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	cfg.IQComm = 1
+	var insts []isa.Inst
+	for i := 0; i < 3000; i++ {
+		in := isa.Inst{
+			Seq: uint64(i), PC: 0x1000 + uint64(i%64)*4, Class: isa.IntALU,
+			HasDest: true, Dest: ireg(uint8(1 + i%12)), NumSrcs: 2,
+		}
+		in.Src[0] = ireg(uint8(1 + (i+11)%12))
+		in.Src[1] = ireg(uint8(1 + (i+6)%12))
+		insts = append(insts, in)
+	}
+	st, _ := run(t, cfg, insts)
+	if st.Committed != 3000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if st.StallComm == 0 {
+		t.Error("1-entry comm queues produced no comm stalls on a join-heavy kernel")
+	}
+}
+
+// TestROBLimitsInFlight: with a tiny ROB the machine still drains and the
+// ROB-full stall counter fires.
+func TestROBLimitsInFlight(t *testing.T) {
+	cfg := MustPaperConfig(ArchConv, 4, 2, 1)
+	cfg.ROBSize = 16
+	// Independent multiplies live ~6 cycles each; at 8-wide dispatch the
+	// demand for in-flight slots (~48) far exceeds a 16-entry ROB.
+	insts := independent(4000)
+	for i := range insts {
+		insts[i].Class = isa.IntMult
+	}
+	st, _ := run(t, cfg, insts)
+	if st.Committed != 4000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if st.StallROB == 0 {
+		t.Error("16-entry ROB produced no ROB stalls on a wide-open stream")
+	}
+}
+
+// TestNonPipelinedDivOccupiesUnit: back-to-back divides serialize on the
+// mult/div unit (20 cycles each at IW=1).
+func TestNonPipelinedDivOccupiesUnit(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 400; i++ {
+		insts = append(insts, isa.Inst{
+			Seq: uint64(i), PC: 0x1000 + uint64(i%64)*4, Class: isa.IntDiv,
+			HasDest: true, Dest: ireg(uint8(1 + i%20)),
+		})
+	}
+	cfg := MustPaperConfig(ArchConv, 8, 1, 1)
+	st, _ := run(t, cfg, insts)
+	// 400 independent divides over 8 clusters x 1 unit, 20 cycles each,
+	// non-pipelined: at least 400/8*20 = 1000 cycles.
+	if st.Cycles < 1000 {
+		t.Fatalf("divides finished in %d cycles; units must be non-pipelined", st.Cycles)
+	}
+}
+
+// TestFPLoadsUseIntQueue: loads into FP registers do their address work on
+// the integer side, so a pure FP-load stream must not touch the FP queue's
+// issue slots (NReadyFP stays zero).
+func TestFPLoadsUseIntQueue(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 2000; i++ {
+		in := isa.Inst{
+			Seq: uint64(i), PC: 0x1000 + uint64(i%64)*4, Class: isa.Load,
+			HasDest: true, Dest: isa.Reg{Kind: isa.FPReg, Idx: uint8(1 + i%20)},
+			EffAddr: uint64(0x1000 + (i%512)*8), NumSrcs: 1,
+		}
+		in.Src[0] = ireg(1)
+		insts = append(insts, in)
+	}
+	st, _ := run(t, MustPaperConfig(ArchRing, 4, 2, 1), insts)
+	if st.Committed != 2000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if st.NReadyFP != 0 {
+		t.Errorf("FP-side NREADY %d from a load-only stream", st.NReadyFP)
+	}
+}

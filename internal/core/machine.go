@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/interconnect"
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/regfile"
+	"repro/internal/steering"
+	"repro/internal/trace"
+)
+
+// robState tracks an instruction's back-end progress.
+type robState uint8
+
+const (
+	robWaiting robState = iota // in an issue queue
+	robIssued                  // executing
+	robDone                    // completed, awaiting commit
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	seq     uint64
+	pc      uint64
+	class   isa.Class
+	cluster int8
+	state   robState
+
+	numSrcs  int8
+	srcVals  [2]valueID
+	destVal  valueID
+	prevVal  valueID
+	destKind isa.RegFileKind
+
+	// memory
+	effAddr uint64
+	hasLSQ  bool
+	lsqIdx  uint64
+
+	// branch
+	taken      bool
+	target     uint64
+	mispredict bool
+}
+
+// fetchEntry is one instruction in the fetch/decode queue.
+type fetchEntry struct {
+	inst       isa.Inst
+	readyAt    uint64 // earliest dispatch cycle (decode + steer latency)
+	mispredict bool
+}
+
+// lsqEntry is one memory operation in the load/store queue.
+type lsqEntry struct {
+	robIdx  uint64
+	addr    uint64
+	isStore bool
+	issued  bool
+}
+
+// commEntry is one dynamically generated communication instruction,
+// waiting in the comm queue of its source cluster.
+type commEntry struct {
+	val        valueID
+	src, dst   int8
+	readySince uint64 // first cycle observed ready (0 = not yet ready)
+	haveReady  bool
+}
+
+// execEvent is a scheduled completion.
+type execEvent struct {
+	robIdx uint64
+	cycle  uint64
+}
+
+// eventHorizon is the completion calendar depth; it must exceed the
+// longest execution latency (an L2 miss plus transit is ~120 cycles).
+const eventHorizon = 512
+
+// Machine is one simulated processor. Construct with New, drive with Run
+// (or Step for tests). Not safe for concurrent use; run one Machine per
+// goroutine.
+type Machine struct {
+	cfg    Config
+	stream trace.Stream
+	alg    steering.Algorithm
+	files  *regfile.Files
+	fabric *interconnect.Fabric
+	pred   *bpred.Predictor
+	mem    *cache.Hierarchy
+
+	vals      valueTable
+	renameMap [2][isa.NumArchRegs]valueID
+
+	rob    *queue.Ring[robEntry]
+	fetchQ *queue.Ring[fetchEntry]
+	lsq    *queue.Ring[lsqEntry]
+	iqInt  []*queue.Bounded[uint64] // per cluster, ROB indices
+	iqFP   []*queue.Bounded[uint64]
+	commQ  []*queue.Bounded[commEntry]
+
+	events [eventHorizon][]execEvent
+
+	// multDivBusyUntil[c][side][unit]: the mult/div units (divides are
+	// non-pipelined and occupy their unit to completion).
+	multDivBusyUntil [regfile.MaxClusters][2][4]uint64
+
+	now uint64
+
+	// front-end state
+	pendingInst    *isa.Inst // fetched but not yet enqueued (stall overflow)
+	fetchBlocked   bool      // waiting for a mispredicted branch to resolve
+	fetchResumeAt  uint64
+	lastFetchLine  uint64
+	haveFetchLine  bool
+	streamDone     bool
+	lastCommitAt   uint64
+	dcachePortsUse int
+	err            error // fatal stream error
+
+	stats     Stats
+	statsBase uint64 // cycle at the last ResetStats
+}
+
+// New builds a machine over the given instruction stream. The steering
+// algorithm is chosen from cfg (Ring/Conv × enhanced/SSA).
+func New(cfg Config, stream trace.Stream) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		stream: stream,
+		files:  regfile.New(cfg.Clusters, cfg.RegsInt, cfg.RegsFP),
+		pred:   bpred.New(cfg.Bpred),
+		mem:    cache.NewHierarchy(cfg.Mem),
+		rob:    queue.NewRing[robEntry](cfg.ROBSize),
+		fetchQ: queue.NewRing[fetchEntry](cfg.FetchQSize),
+		lsq:    queue.NewRing[lsqEntry](cfg.LSQSize),
+	}
+	// Ring runs all buses forward; Conv's second bus runs backward
+	// (Section 4.2).
+	opposed := cfg.Arch == ArchConv
+	m.fabric = interconnect.NewFabric(cfg.Clusters, cfg.Buses, cfg.HopLatency, opposed)
+
+	switch {
+	case cfg.Steer == SteerSimple:
+		m.alg = steering.NewSSA(cfg.Clusters)
+	case cfg.Arch == ArchRing:
+		m.alg = steering.NewRing()
+	default:
+		m.alg = steering.NewConv(cfg.Clusters, cfg.Conv)
+	}
+
+	for c := 0; c < cfg.Clusters; c++ {
+		m.iqInt = append(m.iqInt, queue.NewBounded[uint64](cfg.IQInt))
+		m.iqFP = append(m.iqFP, queue.NewBounded[uint64](cfg.IQFP))
+		m.commQ = append(m.commQ, queue.NewBounded[commEntry](cfg.IQComm))
+	}
+
+	// Architectural live-in values: the initial architected state is
+	// distributed round-robin across the cluster register files, each
+	// value readable in its home cluster from cycle 0. Consumers in
+	// other clusters fetch copies over the buses like any other value.
+	// Initial values occupy no simulated physical registers (the
+	// architected state is the baseline the files are sized above);
+	// copies made for communications are accounted normally.
+	for kind := 0; kind < 2; kind++ {
+		for r := 0; r < isa.NumArchRegs; r++ {
+			id := m.vals.alloc(isa.RegFileKind(kind))
+			v := m.vals.get(id)
+			v.produced = true
+			home := r % cfg.Clusters
+			v.copyMask = 1 << uint(home)
+			v.avail[home] = 0
+			v.home = int8(home)
+			m.renameMap[kind][r] = id
+		}
+	}
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns a copy of the statistics gathered so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the statistics counters without disturbing the
+// machine's microarchitectural state. Use it to exclude a warm-up window
+// from measurement.
+func (m *Machine) ResetStats() {
+	m.stats = Stats{}
+	m.statsBase = m.now
+}
+
+// Now returns the current cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Fabric exposes the interconnect (for stats inspection).
+func (m *Machine) Fabric() *interconnect.Fabric { return m.fabric }
+
+// Mem exposes the memory hierarchy (for stats inspection).
+func (m *Machine) Mem() *cache.Hierarchy { return m.mem }
+
+// Predictor exposes the branch predictor (for stats inspection).
+func (m *Machine) Predictor() *bpred.Predictor { return m.pred }
+
+// --- steering.View implementation ---
+
+// NumClusters implements steering.View.
+func (m *Machine) NumClusters() int { return m.cfg.Clusters }
+
+// FreeRegs implements steering.View: the free destination registers
+// available to an instruction steered to cluster c. On the ring machine an
+// instruction steered to c writes the register file of cluster c+1
+// ("written from the previous cluster in the ring", Section 3), so that is
+// the file whose pressure the steering tie-break must consult.
+func (m *Machine) FreeRegs(c int, kind isa.RegFileKind) int {
+	return m.files.Free(m.visibleCluster(c), kind)
+}
+
+// CommDistance implements steering.View.
+func (m *Machine) CommDistance(src, dst int) int {
+	return m.fabric.MinDistance(src, dst)
+}
+
+// visibleCluster returns the cluster whose register file receives the
+// result of an instruction executing in cluster c: the next cluster on the
+// ring machine, the same cluster on the conventional one.
+func (m *Machine) visibleCluster(c int) int {
+	if m.cfg.Arch == ArchRing {
+		return (c + 1) % m.cfg.Clusters
+	}
+	return c
+}
+
+// schedule registers a completion event for the given ROB entry.
+func (m *Machine) schedule(robIdx, cycle uint64) {
+	if cycle <= m.now || cycle-m.now >= eventHorizon {
+		panic(fmt.Sprintf("core: event at %d out of horizon (now %d)", cycle, m.now))
+	}
+	slot := cycle % eventHorizon
+	m.events[slot] = append(m.events[slot], execEvent{robIdx: robIdx, cycle: cycle})
+}
+
+// Done reports whether the machine has drained: stream exhausted, fetch
+// queue and ROB empty.
+func (m *Machine) Done() bool {
+	return m.streamDone && m.pendingInst == nil && m.fetchQ.Len() == 0 && m.rob.Len() == 0
+}
+
+// ErrNoProgress is returned by Run when the pipeline stops committing,
+// which indicates a modelling bug rather than a legal machine state.
+var ErrNoProgress = fmt.Errorf("core: no commit progress (pipeline wedged)")
+
+// noProgressLimit is how many cycles without a commit Run tolerates
+// (an L2 miss burst is ~hundreds of cycles; this is far beyond any legal
+// stall).
+const noProgressLimit = 1 << 16
+
+// Run simulates until the stream drains or maxCycles elapses (0 means no
+// cycle bound). It returns the final statistics.
+func (m *Machine) Run(maxCycles uint64) (Stats, error) {
+	for !m.Done() {
+		if maxCycles > 0 && m.now >= maxCycles {
+			break
+		}
+		if err := m.Step(); err != nil {
+			return m.stats, err
+		}
+	}
+	return m.stats, nil
+}
+
+// Step advances the machine one cycle.
+func (m *Machine) Step() error {
+	if m.err != nil {
+		return m.err
+	}
+	m.dcachePortsUse = 0
+	m.writeback()
+	m.commit()
+	m.issueComms()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+	if m.err != nil {
+		return m.err
+	}
+	m.alg.Tick()
+	m.now++
+	m.fabric.Advance(m.now)
+	m.stats.Cycles = m.now - m.statsBase
+	if m.rob.Len() > 0 && m.now-m.lastCommitAt > noProgressLimit {
+		return fmt.Errorf("%w at cycle %d (ROB %d, head seq %d state %d)",
+			ErrNoProgress, m.now, m.rob.Len(), m.rob.Peek().seq, m.rob.Peek().state)
+	}
+	return nil
+}

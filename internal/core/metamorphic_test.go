@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runProg simulates one named program on cfg for n instructions.
+func runProg(t *testing.T, cfg Config, prog string, n uint64) Stats {
+	t.Helper()
+	prof, err := workload.ByName(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, trace.NewLimit(gen, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMoreBusesNeverMuchSlower: adding a bus adds bandwidth without
+// changing latency, so IPC must not regress beyond simulation noise.
+func TestMoreBusesNeverMuchSlower(t *testing.T) {
+	for _, prog := range []string{"swim", "gzip"} {
+		for _, arch := range []ArchKind{ArchRing, ArchConv} {
+			one := runProg(t, MustPaperConfig(arch, 8, 2, 1), prog, 40000)
+			two := runProg(t, MustPaperConfig(arch, 8, 2, 2), prog, 40000)
+			if two.IPC() < one.IPC()*0.97 {
+				t.Errorf("%s/%s: 2 buses %.3f vs 1 bus %.3f IPC", arch, prog, two.IPC(), one.IPC())
+			}
+		}
+	}
+}
+
+// TestSlowerWiresNeverFaster: doubling hop latency cannot help.
+func TestSlowerWiresNeverFaster(t *testing.T) {
+	for _, arch := range []ArchKind{ArchRing, ArchConv} {
+		fast := runProg(t, MustPaperConfig(arch, 8, 2, 1), "mgrid", 40000)
+		slow := runProg(t, MustPaperConfig(arch, 8, 2, 1).WithHopLatency(2), "mgrid", 40000)
+		if slow.IPC() > fast.IPC()*1.02 {
+			t.Errorf("%s: 2-cycle hops faster (%.3f) than 1-cycle (%.3f)", arch, slow.IPC(), fast.IPC())
+		}
+	}
+}
+
+// TestIdealCommUpperBounds: removing contention can only help, and
+// removing latency entirely can only help further.
+func TestIdealCommUpperBounds(t *testing.T) {
+	for _, arch := range []ArchKind{ArchRing, ArchConv} {
+		base := MustPaperConfig(arch, 8, 1, 1)
+		buses := base
+		noCont := base
+		noCont.Comm = CommNoContention
+		instant := base
+		instant.Comm = CommInstant
+		sa := runProg(t, buses, "swim", 40000)
+		sb := runProg(t, noCont, "swim", 40000)
+		sc := runProg(t, instant, "swim", 40000)
+		a, b, c := sa.IPC(), sb.IPC(), sc.IPC()
+		if b < a*0.98 {
+			t.Errorf("%s: no-contention (%.3f) slower than buses (%.3f)", arch, b, a)
+		}
+		if c < b*0.98 {
+			t.Errorf("%s: instant (%.3f) slower than no-contention (%.3f)", arch, c, b)
+		}
+	}
+}
+
+// TestSSANeverFasterThanEnhanced: the simple steering algorithm drops
+// information; it cannot beat the full policy by more than noise.
+func TestSSANeverFasterThanEnhanced(t *testing.T) {
+	for _, arch := range []ArchKind{ArchRing, ArchConv} {
+		base := MustPaperConfig(arch, 8, 2, 1)
+		enh := runProg(t, base, "equake", 40000)
+		ssa := runProg(t, base.WithSteer(SteerSimple), "equake", 40000)
+		if ssa.IPC() > enh.IPC()*1.03 {
+			t.Errorf("%s: SSA (%.3f) beat enhanced steering (%.3f)", arch, ssa.IPC(), enh.IPC())
+		}
+	}
+}
+
+// TestPaperHeadlineShape asserts the paper's central claims at reduced
+// scale: Ring beats Conv on the communication-bound FP configuration,
+// with fewer and shorter communications, less contention, and (slightly)
+// worse balance.
+func TestPaperHeadlineShape(t *testing.T) {
+	progs := []string{"swim", "applu", "mgrid", "galgel", "lucas"}
+	var ringIPC, convIPC float64
+	for _, p := range progs {
+		ring := runProg(t, MustPaperConfig(ArchRing, 8, 2, 1), p, 40000)
+		conv := runProg(t, MustPaperConfig(ArchConv, 8, 2, 1), p, 40000)
+		ringIPC += ring.IPC()
+		convIPC += conv.IPC()
+		if ring.CommsPerInst() >= conv.CommsPerInst() {
+			t.Errorf("%s: Ring comms/inst %.3f >= Conv %.3f", p, ring.CommsPerInst(), conv.CommsPerInst())
+		}
+		if ring.AvgCommDistance() >= conv.AvgCommDistance() {
+			t.Errorf("%s: Ring distance %.2f >= Conv %.2f", p, ring.AvgCommDistance(), conv.AvgCommDistance())
+		}
+		if ring.AvgCommWait() >= conv.AvgCommWait() {
+			t.Errorf("%s: Ring contention %.2f >= Conv %.2f", p, ring.AvgCommWait(), conv.AvgCommWait())
+		}
+	}
+	if ringIPC <= convIPC {
+		t.Errorf("Ring FP IPC sum %.3f <= Conv %.3f: headline result lost", ringIPC, convIPC)
+	}
+}
+
+// TestRingDistanceBoundedByRingSize: a unidirectional 8-ring can never
+// report more than 7 hops per communication.
+func TestRingDistanceBoundedByRingSize(t *testing.T) {
+	st := runProg(t, MustPaperConfig(ArchRing, 8, 2, 1), "ammp", 30000)
+	if d := st.AvgCommDistance(); d <= 0 || d > 7 {
+		t.Fatalf("avg distance %.2f outside (0, 7]", d)
+	}
+}
+
+// TestNoProgressDetection: a machine whose trace ends mid-flight drains
+// instead of wedging; Run always terminates.
+func TestDrainAfterStreamEnd(t *testing.T) {
+	st := runProg(t, MustPaperConfig(ArchRing, 4, 2, 1), "mcf", 5000)
+	if st.Committed != 5000 {
+		t.Fatalf("committed %d, want 5000", st.Committed)
+	}
+}

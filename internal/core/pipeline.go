@@ -1,0 +1,605 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/steering"
+	"repro/internal/trace"
+)
+
+// writeback applies every completion scheduled for the current cycle:
+// results become visible (next cluster on Ring, same cluster on Conv),
+// ROB entries turn done, and resolved mispredicted branches unblock fetch.
+func (m *Machine) writeback() {
+	slot := m.now % eventHorizon
+	evs := m.events[slot]
+	if len(evs) == 0 {
+		return
+	}
+	m.events[slot] = evs[:0]
+	for _, ev := range evs {
+		if ev.cycle != m.now {
+			panic(fmt.Sprintf("core: event for cycle %d fired at %d", ev.cycle, m.now))
+		}
+		e := m.rob.AtAbs(ev.robIdx)
+		e.state = robDone
+		if e.destVal != noValue {
+			v := m.vals.get(e.destVal)
+			v.produced = true
+			vc := m.visibleCluster(int(e.cluster))
+			if m.now < v.avail[vc] {
+				v.avail[vc] = m.now
+			}
+		}
+		if e.class == isa.Branch {
+			m.stats.Branches++
+			if e.mispredict {
+				m.stats.Mispredicts++
+				m.fetchBlocked = false
+				m.fetchResumeAt = m.now + 1
+			}
+		}
+	}
+}
+
+// commit retires done instructions in order, up to the commit width.
+// Retiring an instruction that redefines a register releases every
+// physical copy of the previous value of that register in one shot — the
+// paper's chosen copy-release policy.
+func (m *Machine) commit() {
+	for n := 0; n < m.cfg.CommitWidth; n++ {
+		e := m.rob.Peek()
+		if e == nil || e.state != robDone {
+			return
+		}
+		if e.prevVal != noValue {
+			pv := m.vals.get(e.prevVal)
+			m.files.ReleaseMask(pv.allocMask, pv.kind)
+			m.vals.release(e.prevVal)
+		}
+		if e.hasLSQ {
+			le, ok := m.lsq.Pop()
+			if !ok || le.robIdx != m.rob.Head() {
+				panic("core: LSQ out of sync with ROB")
+			}
+			if le.isStore {
+				// Committed stores update the data cache off the
+				// critical path.
+				m.mem.DataAccess(le.addr, true)
+				m.stats.Stores++
+			} else {
+				m.stats.Loads++
+			}
+		}
+		m.stats.Committed++
+		m.lastCommitAt = m.now
+		m.rob.Pop()
+	}
+}
+
+// issueComms lets ready communication instructions compete for bus slots.
+// A communication is ready once its value is readable in its source
+// cluster; contention is the time from ready to injection. Clusters take
+// turns getting first pick so no cluster is structurally favored.
+func (m *Machine) issueComms() {
+	n := m.cfg.Clusters
+	start := int(m.now % uint64(n))
+	for k := 0; k < n; k++ {
+		c := (start + k) % n
+		q := m.commQ[c]
+		// The register file provisions one extra read port per bus
+		// (Section 3), so at most Buses communications issue per cluster
+		// per cycle.
+		issued := 0
+		for i := 0; i < q.Len() && issued < m.cfg.Buses; {
+			ce := q.At(i)
+			v := m.vals.get(ce.val)
+			if !v.produced || v.avail[c] > m.now {
+				i++
+				continue
+			}
+			if !ce.haveReady {
+				ce.haveReady = true
+				ce.readySince = m.now
+			}
+			var arrival uint64
+			var dist int
+			var ok bool
+			switch m.cfg.Comm {
+			case CommInstant:
+				arrival, dist, ok = m.now, m.fabric.MinDistance(c, int(ce.dst)), true
+			case CommNoContention:
+				dist = m.fabric.MinDistance(c, int(ce.dst))
+				arrival, ok = m.now+uint64(dist*m.cfg.HopLatency), true
+			default:
+				arrival, dist, ok = m.fabric.TrySend(m.now, c, int(ce.dst))
+			}
+			if !ok {
+				i++
+				continue
+			}
+			if arrival < v.avail[ce.dst] {
+				v.avail[ce.dst] = arrival
+			}
+			m.stats.CommHops += uint64(dist)
+			m.stats.CommWait += m.now - ce.readySince
+			if m.cfg.Copies == ReleaseOnRead {
+				m.noteRead(ce.val, c)
+			}
+			q.RemoveAt(i)
+			issued++
+		}
+	}
+}
+
+// noteRead records that one dispatched read of value vid from cluster c
+// has been performed, releasing the communicated copy when it was the
+// last (ReleaseOnRead policy only). The home copy is never read-released:
+// it carries the architectural state until the register is redefined.
+func (m *Machine) noteRead(vid valueID, c int) {
+	v := m.vals.get(vid)
+	if v.readers[c] == 0 {
+		panic("core: operand read without a dispatched reader")
+	}
+	v.readers[c]--
+	bit := uint32(1) << uint(c)
+	if v.readers[c] == 0 && int(v.home) != c && v.allocMask&bit != 0 {
+		m.files.Release(c, v.kind)
+		v.allocMask &^= bit
+		v.copyMask &^= bit
+		v.avail[c] = neverAvail
+	}
+}
+
+// operandsReady reports whether every source of e is readable from
+// cluster c this cycle.
+func (m *Machine) operandsReady(e *robEntry, c int) bool {
+	for i := 0; i < int(e.numSrcs); i++ {
+		sv := e.srcVals[i]
+		if sv == noValue {
+			continue
+		}
+		if m.vals.get(sv).avail[c] > m.now {
+			return false
+		}
+	}
+	return true
+}
+
+// multDivUnit returns a free mult/div unit in cluster c on the given side
+// (0=int, 1=fp), or -1.
+func (m *Machine) multDivUnit(c, side, width int) int {
+	if width > 4 {
+		width = 4
+	}
+	for u := 0; u < width; u++ {
+		if m.multDivBusyUntil[c][side][u] <= m.now {
+			return u
+		}
+	}
+	return -1
+}
+
+// tryExecute checks structural resources for e issuing in cluster c and,
+// when they are available, claims them and returns the execution latency.
+func (m *Machine) tryExecute(e *robEntry, c int) (lat int, ok bool) {
+	switch e.class {
+	case isa.IntALU, isa.Branch:
+		return 1, true
+	case isa.IntMult:
+		if m.multDivUnit(c, 0, m.cfg.IssueInt) < 0 {
+			return 0, false
+		}
+		return isa.IntMult.Latency(), true
+	case isa.IntDiv:
+		u := m.multDivUnit(c, 0, m.cfg.IssueInt)
+		if u < 0 {
+			return 0, false
+		}
+		lat = isa.IntDiv.Latency()
+		m.multDivBusyUntil[c][0][u] = m.now + uint64(lat)
+		return lat, true
+	case isa.FPAdd:
+		return isa.FPAdd.Latency(), true
+	case isa.FPMult:
+		if m.multDivUnit(c, 1, m.cfg.IssueFP) < 0 {
+			return 0, false
+		}
+		return isa.FPMult.Latency(), true
+	case isa.FPDiv:
+		u := m.multDivUnit(c, 1, m.cfg.IssueFP)
+		if u < 0 {
+			return 0, false
+		}
+		lat = isa.FPDiv.Latency()
+		m.multDivBusyUntil[c][1][u] = m.now + uint64(lat)
+		return lat, true
+	case isa.Store:
+		// Stores issue once address and data operands are ready; the
+		// cache write happens at commit.
+		m.lsq.AtAbs(e.lsqIdx).issued = true
+		return 1, true
+	case isa.Load:
+		return m.tryExecuteLoad(e, c)
+	}
+	panic("core: unknown class at issue")
+}
+
+// tryExecuteLoad applies memory disambiguation and D-cache port limits.
+// Disambiguation is perfect (trace-driven addresses): a load waits only
+// for the nearest older store to the same address, and forwards from it.
+func (m *Machine) tryExecuteLoad(e *robEntry, c int) (lat int, ok bool) {
+	// Scan older LSQ entries, youngest first, for a same-address store.
+	for idx := e.lsqIdx; idx > m.lsq.Head(); {
+		idx--
+		le := m.lsq.AtAbs(idx)
+		if !le.isStore || le.addr != e.effAddr {
+			continue
+		}
+		if !le.issued {
+			return 0, false // store data not ready yet
+		}
+		m.stats.LoadFwds++
+		return 2, true // AGU + store-to-load forward
+	}
+	if m.dcachePortsUse >= m.cfg.Mem.DCachePorts {
+		m.stats.DCacheBusy++
+		return 0, false
+	}
+	m.dcachePortsUse++
+	transit := m.cfg.Mem.ClusterTransit
+	return 1 + 2*transit + m.mem.DataAccess(e.effAddr, false), true
+}
+
+// issueSide scans one cluster's issue queue (one side), issuing ready
+// instructions oldest-first up to the width, and returns the NREADY
+// bookkeeping: ready-but-width-blocked entries and unused issue slots.
+func (m *Machine) issueSide(c int, q *queue.Bounded[uint64], width int) (surplus, idle int) {
+	issued := 0
+	for i := 0; i < q.Len(); {
+		idx := *q.At(i)
+		e := m.rob.AtAbs(idx)
+		if !m.operandsReady(e, c) {
+			i++
+			continue
+		}
+		if issued >= width {
+			surplus++
+			i++
+			continue
+		}
+		lat, ok := m.tryExecute(e, c)
+		if !ok {
+			i++
+			continue
+		}
+		e.state = robIssued
+		if m.cfg.Copies == ReleaseOnRead {
+			for s := 0; s < int(e.numSrcs); s++ {
+				if e.srcVals[s] != noValue {
+					m.noteRead(e.srcVals[s], c)
+				}
+			}
+		}
+		m.schedule(idx, m.now+uint64(lat))
+		q.RemoveAt(i)
+		issued++
+	}
+	return surplus, width - issued
+}
+
+// issue runs the per-cluster select logic and accumulates the NREADY
+// workload-imbalance figure: ready instructions beyond their cluster's
+// issue width that idle slots elsewhere could have absorbed, computed per
+// side (an integer instruction cannot use an FP slot).
+func (m *Machine) issue() {
+	var surInt, idleInt, surFP, idleFP int
+	for c := 0; c < m.cfg.Clusters; c++ {
+		s, id := m.issueSide(c, m.iqInt[c], m.cfg.IssueInt)
+		surInt += s
+		idleInt += id
+		s, id = m.issueSide(c, m.iqFP[c], m.cfg.IssueFP)
+		surFP += s
+		idleFP += id
+	}
+	m.stats.NReadyInt += uint64(min(surInt, idleInt))
+	m.stats.NReadyFP += uint64(min(surFP, idleFP))
+	m.stats.NReady += uint64(min(surInt, idleInt) + min(surFP, idleFP))
+}
+
+// regNeed is one physical-register requirement discovered at dispatch.
+type regNeed struct {
+	cluster int
+	kind    isa.RegFileKind
+}
+
+// dispatch renames, steers and inserts instructions into the back end, in
+// order, up to the dispatch width, stalling at the first instruction whose
+// chosen cluster lacks a resource (paper Section 3.1: "if the chosen
+// cluster is full, then the dispatch stage is stalled").
+func (m *Machine) dispatch() {
+	for n := 0; n < m.cfg.DispatchWidth; n++ {
+		fe := m.fetchQ.Peek()
+		if fe == nil {
+			m.stats.StallFetchMt++
+			return
+		}
+		if fe.readyAt > m.now {
+			return
+		}
+		in := &fe.inst
+
+		// Rename sources.
+		var req steering.Request
+		var srcIDs [2]valueID
+		var srcKinds [2]isa.RegFileKind
+		for i := 0; i < int(in.NumSrcs); i++ {
+			r := in.Src[i]
+			if r.IsZero() {
+				continue
+			}
+			vid := m.renameMap[r.Kind][r.Idx]
+			v := m.vals.get(vid)
+			req.Ops[req.NumOps] = steering.Operand{Mask: v.copyMask, Pending: !v.produced}
+			srcIDs[req.NumOps] = vid
+			srcKinds[req.NumOps] = r.Kind
+			req.NumOps++
+		}
+		req.Kind = isa.IntReg
+		if in.WritesReg() {
+			req.Kind = in.Dest.Kind
+		}
+
+		cl := m.alg.Choose(m, &req)
+
+		// Global structures.
+		if m.rob.Full() {
+			m.stats.StallROB++
+			return
+		}
+		if in.Class.IsMem() && m.lsq.Full() {
+			m.stats.StallLSQ++
+			return
+		}
+		iq := m.iqInt[cl]
+		if in.Class.IsFP() {
+			iq = m.iqFP[cl]
+		}
+		if iq.Full() {
+			m.stats.StallIQ++
+			return
+		}
+
+		// Discover register and comm-queue needs (checked before any
+		// allocation so a stall leaks nothing).
+		var needs [3]regNeed
+		nNeeds := 0
+		if in.WritesReg() {
+			needs[nNeeds] = regNeed{m.visibleCluster(cl), in.Dest.Kind}
+			nNeeds++
+		}
+		type commNeed struct {
+			op  int
+			src int
+		}
+		var comms [2]commNeed
+		nComms := 0
+		for i := 0; i < req.NumOps; i++ {
+			if i > 0 && srcIDs[i] == srcIDs[0] {
+				continue // both operands read the same value: one comm suffices
+			}
+			mask := req.Ops[i].Mask
+			if mask == 0 || mask&(1<<uint(cl)) != 0 {
+				continue // readable in cl (or everywhere); no comm
+			}
+			src := m.nearestCopy(mask, cl)
+			comms[nComms] = commNeed{op: i, src: src}
+			nComms++
+			needs[nNeeds] = regNeed{cl, srcKinds[i]}
+			nNeeds++
+		}
+		for i := 0; i < nNeeds; i++ {
+			needed := 1
+			for j := 0; j < i; j++ {
+				if needs[j] == needs[i] {
+					needed++
+				}
+			}
+			if m.files.Free(needs[i].cluster, needs[i].kind) < needed {
+				m.stats.StallRegs++
+				return
+			}
+		}
+		for i := 0; i < nComms; i++ {
+			needed := 1
+			for j := 0; j < i; j++ {
+				if comms[j].src == comms[i].src {
+					needed++
+				}
+			}
+			if m.commQ[comms[i].src].Free() < needed {
+				m.stats.StallComm++
+				return
+			}
+		}
+
+		// All resources available: perform the dispatch.
+		e := robEntry{
+			seq:        in.Seq,
+			pc:         in.PC,
+			class:      in.Class,
+			cluster:    int8(cl),
+			state:      robWaiting,
+			destVal:    noValue,
+			prevVal:    noValue,
+			effAddr:    in.EffAddr,
+			taken:      in.Taken,
+			target:     in.Target,
+			mispredict: fe.mispredict,
+		}
+		for i := 0; i < req.NumOps; i++ {
+			e.srcVals[i] = srcIDs[i]
+		}
+		e.numSrcs = int8(req.NumOps)
+
+		for i := 0; i < nComms; i++ {
+			c := comms[i]
+			v := m.vals.get(srcIDs[c.op])
+			if !m.files.Alloc(cl, srcKinds[c.op]) {
+				panic("core: copy register vanished after check")
+			}
+			v.copyMask |= 1 << uint(cl)
+			v.allocMask |= 1 << uint(cl)
+			if m.cfg.Copies == ReleaseOnRead {
+				v.readers[c.src]++ // the communication itself reads at its source
+			}
+			if !m.commQ[c.src].Push(commEntry{val: srcIDs[c.op], src: int8(c.src), dst: int8(cl)}) {
+				panic("core: comm queue slot vanished after check")
+			}
+			m.stats.Comms++
+		}
+		if m.cfg.Copies == ReleaseOnRead {
+			for i := 0; i < req.NumOps; i++ {
+				m.vals.get(srcIDs[i]).readers[cl]++
+			}
+		}
+
+		if in.WritesReg() {
+			home := m.visibleCluster(cl)
+			if !m.files.Alloc(home, in.Dest.Kind) {
+				panic("core: destination register vanished after check")
+			}
+			vid := m.vals.alloc(in.Dest.Kind)
+			v := m.vals.get(vid)
+			v.copyMask = 1 << uint(home)
+			v.allocMask = 1 << uint(home)
+			v.home = int8(home)
+			e.destVal = vid
+			e.destKind = in.Dest.Kind
+			e.prevVal = m.renameMap[in.Dest.Kind][in.Dest.Idx]
+			m.renameMap[in.Dest.Kind][in.Dest.Idx] = vid
+		}
+
+		robIdx, ok := m.rob.Push(e)
+		if !ok {
+			panic("core: ROB slot vanished after check")
+		}
+		if in.Class.IsMem() {
+			lsqIdx, ok := m.lsq.Push(lsqEntry{robIdx: robIdx, addr: in.EffAddr, isStore: in.Class == isa.Store})
+			if !ok {
+				panic("core: LSQ slot vanished after check")
+			}
+			m.rob.AtAbs(robIdx).hasLSQ = true
+			m.rob.AtAbs(robIdx).lsqIdx = lsqIdx
+		}
+		if !iq.Push(robIdx) {
+			panic("core: IQ slot vanished after check")
+		}
+
+		m.alg.OnDispatch(cl)
+		m.stats.Dispatched++
+		m.stats.PerCluster[cl]++
+		if u := uint64(m.files.TotalUsed(isa.IntReg)); u > m.stats.PeakRegsInt {
+			m.stats.PeakRegsInt = u
+		}
+		if u := uint64(m.files.TotalUsed(isa.FPReg)); u > m.stats.PeakRegsFP {
+			m.stats.PeakRegsFP = u
+		}
+		m.fetchQ.Pop()
+	}
+}
+
+// nearestCopy returns the cluster holding a copy of the value (per mask)
+// with the shortest bus distance to dst, breaking ties toward lower
+// indices.
+func (m *Machine) nearestCopy(mask uint32, dst int) int {
+	best, bestD := -1, int(^uint(0)>>1)
+	for s := 0; s < m.cfg.Clusters; s++ {
+		if mask&(1<<uint(s)) == 0 {
+			continue
+		}
+		if d := m.fabric.MinDistance(s, dst); d < bestD {
+			best, bestD = s, d
+		}
+	}
+	if best < 0 {
+		panic("core: nearestCopy with empty mask")
+	}
+	return best
+}
+
+// fetch pulls instructions from the trace into the fetch queue: up to the
+// fetch width per cycle, stopping at taken branches, stalling on
+// instruction-cache misses, and blocking behind unresolved mispredicted
+// branches (the standard trace-driven front-end model: no wrong-path
+// fetch, misprediction costs resolution time plus pipeline refill).
+func (m *Machine) fetch() {
+	if m.fetchBlocked || m.now < m.fetchResumeAt {
+		return
+	}
+	lineShift := lineShiftOf(m.cfg.Mem.L1I.LineBytes)
+	for fetched := 0; fetched < m.cfg.FetchWidth && !m.fetchQ.Full(); {
+		var in isa.Inst
+		if m.pendingInst != nil {
+			in = *m.pendingInst
+			m.pendingInst = nil
+		} else {
+			if m.streamDone {
+				return
+			}
+			var err error
+			in, err = m.stream.Next()
+			if err != nil {
+				if errors.Is(err, trace.ErrEnd) {
+					m.streamDone = true
+					return
+				}
+				m.err = err
+				m.streamDone = true
+				return
+			}
+			line := in.PC >> lineShift
+			if !m.haveFetchLine || line != m.lastFetchLine {
+				lat := m.mem.InstFetch(in.PC)
+				m.lastFetchLine = line
+				m.haveFetchLine = true
+				if lat > m.cfg.Mem.L1I.HitLatency {
+					// Miss: the line arrives later; hold the
+					// instruction and resume then.
+					held := in
+					m.pendingInst = &held
+					m.fetchResumeAt = m.now + uint64(lat)
+					return
+				}
+			}
+		}
+		fe := fetchEntry{inst: in, readyAt: m.now + 1 + uint64(m.cfg.SteerLatency)}
+		if in.Class.IsBranch() {
+			fe.mispredict = m.pred.Update(in.PC, in.Taken, in.Target)
+			m.fetchQ.Push(fe)
+			fetched++
+			if fe.mispredict {
+				m.fetchBlocked = true
+				return
+			}
+			if in.Taken {
+				return // fetch group ends at a taken branch
+			}
+			continue
+		}
+		m.fetchQ.Push(fe)
+		fetched++
+	}
+}
+
+// lineShiftOf returns log2 of a power-of-two line size.
+func lineShiftOf(lineBytes int) uint {
+	s := uint(0)
+	for 1<<s != lineBytes {
+		s++
+	}
+	return s
+}

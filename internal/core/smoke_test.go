@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSmokeAllConfigs runs every paper configuration briefly on one INT and
+// one FP program and checks basic sanity: positive IPC, no wedging, and
+// register/value conservation after drain.
+func TestSmokeAllConfigs(t *testing.T) {
+	progs := []string{"gzip", "swim"}
+	for _, arch := range []ArchKind{ArchRing, ArchConv} {
+		for _, tc := range []struct{ clusters, iw, buses int }{
+			{4, 2, 1}, {8, 1, 1}, {8, 1, 2}, {8, 2, 1}, {8, 2, 2},
+		} {
+			cfg := MustPaperConfig(arch, tc.clusters, tc.iw, tc.buses)
+			for _, prog := range progs {
+				prof, err := workload.ByName(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gen, err := workload.NewGenerator(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := New(cfg, trace.NewLimit(gen, 20000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := m.Run(0)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", cfg.Name, prog, err)
+				}
+				if st.Committed != 20000 {
+					t.Errorf("%s/%s: committed %d, want 20000", cfg.Name, prog, st.Committed)
+				}
+				if ipc := st.IPC(); ipc <= 0.1 || ipc > float64(cfg.Clusters*(cfg.IssueInt+cfg.IssueFP)) {
+					t.Errorf("%s/%s: implausible IPC %.3f", cfg.Name, prog, ipc)
+				}
+				if live := m.vals.liveCount(); live != 64 {
+					t.Errorf("%s/%s: %d live values after drain, want 64", cfg.Name, prog, live)
+				}
+				t.Logf("%s/%s: IPC=%.3f comms/inst=%.3f dist=%.2f wait=%.2f nready=%.2f mispred=%.3f",
+					cfg.Name, prog, st.IPC(), st.CommsPerInst(), st.AvgCommDistance(),
+					st.AvgCommWait(), st.AvgNReady(), st.MispredictRate())
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import "repro/internal/regfile"
+
+// Stats aggregates everything one simulation run measures. All of the
+// paper's figures are ratios of these counters.
+type Stats struct {
+	// Cycles is the total simulated cycles.
+	Cycles uint64
+	// Committed is the number of committed (retired) instructions;
+	// communication instructions do not count (they are micro-ops the
+	// machine generates, matching the paper's per-instruction ratios).
+	Committed uint64
+	// Dispatched counts instructions entering the back end.
+	Dispatched uint64
+	// PerCluster counts dispatched instructions per cluster (Figure 11).
+	PerCluster [regfile.MaxClusters]uint64
+
+	// Comms is the number of communication instructions created.
+	Comms uint64
+	// CommHops is the total hop distance over all communications
+	// (Figure 8 plots CommHops/Comms).
+	CommHops uint64
+	// CommWait is the total cycles ready communication instructions
+	// spent waiting for a free bus slot (Figure 9 plots CommWait/Comms).
+	CommWait uint64
+
+	// NReady accumulates the per-cycle NREADY workload-imbalance figure
+	// (Figure 10 plots NReady/Cycles). NReadyInt and NReadyFP split it by
+	// datapath side.
+	NReady    uint64
+	NReadyInt uint64
+	NReadyFP  uint64
+
+	// Branches and Mispredicts count conditional-branch outcomes.
+	Branches    uint64
+	Mispredicts uint64
+
+	// Dispatch stall cycles by first blocking reason.
+	StallIQ      uint64
+	StallRegs    uint64
+	StallROB     uint64
+	StallLSQ     uint64
+	StallComm    uint64
+	StallFetchMt uint64 // fetch queue empty (front-end starvation)
+
+	// Loads/Stores committed, and load forwarding events.
+	Loads      uint64
+	Stores     uint64
+	LoadFwds   uint64
+	DCacheBusy uint64 // load-issue attempts blocked by D-cache ports
+
+	// PeakRegsInt and PeakRegsFP are the maximum total physical
+	// registers in use across all clusters at any dispatch, per
+	// namespace — the register-pressure figure the copy-release policies
+	// trade against communication count.
+	PeakRegsInt uint64
+	PeakRegsFP  uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CommsPerInst returns communications per committed instruction (Fig. 7).
+func (s *Stats) CommsPerInst() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Comms) / float64(s.Committed)
+}
+
+// AvgCommDistance returns mean hops per communication (Fig. 8).
+func (s *Stats) AvgCommDistance() float64 {
+	if s.Comms == 0 {
+		return 0
+	}
+	return float64(s.CommHops) / float64(s.Comms)
+}
+
+// AvgCommWait returns mean bus-contention cycles per communication (Fig 9).
+func (s *Stats) AvgCommWait() float64 {
+	if s.Comms == 0 {
+		return 0
+	}
+	return float64(s.CommWait) / float64(s.Comms)
+}
+
+// AvgNReady returns the mean NREADY per cycle (Fig. 10 / Fig. 14).
+func (s *Stats) AvgNReady() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.NReady) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredicted branches per branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// ClusterShare returns the fraction of dispatched instructions that went
+// to cluster c (Fig. 11).
+func (s *Stats) ClusterShare(c int) float64 {
+	if s.Dispatched == 0 {
+		return 0
+	}
+	return float64(s.PerCluster[c]) / float64(s.Dispatched)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// neverAvail marks a value as not (yet) readable in a cluster.
+const neverAvail = ^uint64(0)
+
+// valueID indexes the machine's value table; noValue means "no value".
+type valueID = int32
+
+const noValue valueID = -1
+
+// value is one renamed register instance: the result of one dynamic
+// register-writing instruction (or an architectural live-in). The value
+// tracks, per cluster, the first cycle at which instructions issuing in
+// that cluster can read it, which cluster holds (or will hold) a copy, and
+// in which clusters it occupies a physical register.
+type value struct {
+	kind isa.RegFileKind
+	// avail[c] is the first cycle the value is readable by instructions
+	// issuing in cluster c; neverAvail until produced/communicated.
+	avail [regfile.MaxClusters]uint64
+	// copyMask has bit c set when the value is, or will become, readable
+	// in cluster c (used by steering: "mapped" clusters).
+	copyMask uint32
+	// allocMask has bit c set when the value occupies one physical
+	// register in cluster c's file of the value's namespace. Released in
+	// one shot when the redefining instruction commits.
+	allocMask uint32
+	// produced reports whether the producing instruction has executed.
+	produced bool
+	// live distinguishes allocated table slots from free-list slots.
+	live bool
+	// home is the cluster whose copy is the architectural one; it is
+	// never released by the read-release policy.
+	home int8
+	// readers[c] counts dispatched-but-not-yet-performed reads of the
+	// value from cluster c (consumer operand reads and communication
+	// sends). Used only by the ReleaseOnRead policy.
+	readers [regfile.MaxClusters]uint16
+}
+
+// valueTable is a free-list slab of values.
+type valueTable struct {
+	vals []value
+	free []valueID
+}
+
+// alloc returns a fresh value of the given namespace with no copies.
+func (t *valueTable) alloc(kind isa.RegFileKind) valueID {
+	var id valueID
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.vals = append(t.vals, value{})
+		id = valueID(len(t.vals) - 1)
+	}
+	v := &t.vals[id]
+	*v = value{kind: kind, live: true}
+	for i := range v.avail {
+		v.avail[i] = neverAvail
+	}
+	return id
+}
+
+// get returns the value for id. The pointer is invalidated by alloc.
+func (t *valueTable) get(id valueID) *value { return &t.vals[id] }
+
+// release returns id's slot to the free list. The caller must already
+// have released the value's physical registers.
+func (t *valueTable) release(id valueID) {
+	v := &t.vals[id]
+	if !v.live {
+		panic("core: double release of value")
+	}
+	v.live = false
+	t.free = append(t.free, id)
+}
+
+// liveCount returns the number of live values (for leak checks in tests).
+func (t *valueTable) liveCount() int {
+	n := 0
+	for i := range t.vals {
+		if t.vals[i].live {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,272 @@
+// Figures: one function per table/figure of the paper's evaluation
+// (Section 4). Each returns a plain-text table whose rows mirror what the
+// paper plots, so paper-vs-measured comparison is a visual diff.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Results bundles the simulation runs the figures draw from.
+type Results struct {
+	// Main holds the ten Table 3 configurations (enhanced steering).
+	Main map[Key]Run
+	// SSA holds the same configurations under the simple steering
+	// algorithm (Figures 13-14).
+	SSA map[Key]Run
+	// Hop2 holds the 8-cluster 2IW configurations with 2-cycle hops
+	// (Figure 12), under enhanced steering.
+	Hop2 map[Key]Run
+}
+
+// SSAConfigs returns the Table 3 configurations under SSA steering.
+func SSAConfigs() []core.Config {
+	base := PaperConfigs()
+	out := make([]core.Config, len(base))
+	for i, c := range base {
+		out[i] = c.WithSteer(core.SteerSimple)
+	}
+	return out
+}
+
+// Hop2Configs returns the Section 4.6 wire-scaling configurations:
+// 8 clusters, 2 INT + 2 FP issue width, 1 and 2 buses, 2-cycle hops.
+func Hop2Configs() []core.Config {
+	var out []core.Config
+	for _, arch := range []core.ArchKind{core.ArchConv, core.ArchRing} {
+		for _, buses := range []int{1, 2} {
+			out = append(out, core.MustPaperConfig(arch, 8, 2, buses).WithHopLatency(2))
+		}
+	}
+	return out
+}
+
+// RunAll simulates everything the figures need. insts is the measured
+// instruction count per program; warmup instructions run first without
+// being measured.
+func RunAll(insts, warmup uint64) (*Results, error) {
+	progs := workload.Names()
+	main, err := Grid(PaperConfigs(), progs, insts, warmup)
+	if err != nil {
+		return nil, err
+	}
+	ssa, err := Grid(SSAConfigs(), progs, insts, warmup)
+	if err != nil {
+		return nil, err
+	}
+	hop2, err := Grid(Hop2Configs(), progs, insts, warmup)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{Main: main, SSA: ssa, Hop2: hop2}, nil
+}
+
+var suites = []Suite{SuiteAll, SuiteInt, SuiteFP}
+
+// header renders the AVERAGE/INT/FP column header.
+func header(label string) string {
+	return fmt.Sprintf("%-28s %9s %9s %9s\n", label, "AVERAGE", "INT", "FP")
+}
+
+// metricTable renders one row per configuration of a per-suite metric.
+func metricTable(res map[Key]Run, configs []string, label, format string, metric Metric) string {
+	var b strings.Builder
+	b.WriteString(header(label))
+	for _, cfg := range configs {
+		fmt.Fprintf(&b, "%-28s", cfg)
+		for _, s := range suites {
+			fmt.Fprintf(&b, " "+format, Aggregate(res, cfg, s, metric))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// mainConfigNames returns the ten Table 3 configuration names in the
+// paper's interleaved plotting order (Conv then Ring per shape).
+func mainConfigNames(suffix string) []string {
+	var out []string
+	for _, p := range ConfigPairs() {
+		out = append(out, p[1]+suffix, p[0]+suffix)
+	}
+	return out
+}
+
+// Fig6 renders the speedup of Ring over Conv per configuration (enhanced
+// steering).
+func (r *Results) Fig6() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Speedup of Ring over Conv (enhanced steering)\n")
+	b.WriteString(header("configuration"))
+	for _, pair := range ConfigPairs() {
+		fmt.Fprintf(&b, "%-28s", pair[0])
+		for _, s := range suites {
+			fmt.Fprintf(&b, " %8.1f%%", 100*Speedup(r.Main, pair[0], pair[1], s))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig7 renders communications per instruction for all configurations.
+func (r *Results) Fig7() string {
+	return "Figure 7: Communications per instruction\n" +
+		metricTable(r.Main, mainConfigNames(""), "configuration", "%9.3f",
+			func(s *core.Stats) float64 { return s.CommsPerInst() })
+}
+
+// Fig8 renders the average hop distance per communication.
+func (r *Results) Fig8() string {
+	return "Figure 8: Average distance per communication (hops)\n" +
+		metricTable(r.Main, mainConfigNames(""), "configuration", "%9.2f",
+			func(s *core.Stats) float64 { return s.AvgCommDistance() })
+}
+
+// Fig9 renders the average bus-contention delay per communication.
+func (r *Results) Fig9() string {
+	return "Figure 9: Average delay per communication due to bus contention (cycles)\n" +
+		metricTable(r.Main, mainConfigNames(""), "configuration", "%9.2f",
+			func(s *core.Stats) float64 { return s.AvgCommWait() })
+}
+
+// Fig10 renders the NREADY workload-imbalance figure (enhanced steering).
+func (r *Results) Fig10() string {
+	return "Figure 10: Workload imbalance (NREADY), enhanced steering\n" +
+		metricTable(r.Main, mainConfigNames(""), "configuration", "%9.2f",
+			func(s *core.Stats) float64 { return s.AvgNReady() })
+}
+
+// Fig11 renders the per-benchmark dispatch distribution across clusters for
+// Ring_8clus_1bus_2IW.
+func (r *Results) Fig11() string {
+	const cfg = "Ring_8clus_1bus_2IW"
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: Distribution of dispatched instructions across clusters (%s)\n", cfg)
+	fmt.Fprintf(&b, "%-10s", "program")
+	for c := 0; c < 8; c++ {
+		fmt.Fprintf(&b, " %6s", fmt.Sprintf("clus%d", c))
+	}
+	b.WriteString("\n")
+	progs := append(workload.SuiteNames(workload.ClassFP), workload.SuiteNames(workload.ClassInt)...)
+	sort.Strings(progs)
+	for _, p := range progs {
+		run, ok := r.Main[Key{Config: cfg, Program: p}]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s", p)
+		for c := 0; c < 8; c++ {
+			st := run.Stats
+			fmt.Fprintf(&b, " %5.1f%%", 100*st.ClusterShare(c))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig12 renders the Ring-over-Conv speedup with 1- and 2-cycle hop
+// latencies (8 clusters, 2 INT + 2 FP issue width).
+func (r *Results) Fig12() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: Speedup of Ring over Conv for different bus latencies (8clus 2IW)\n")
+	b.WriteString(header("configuration"))
+	type row struct {
+		label      string
+		res        map[Key]Run
+		ring, conv string
+	}
+	rows := []row{
+		{"2bus_1cyclehop", r.Main, "Ring_8clus_2bus_2IW", "Conv_8clus_2bus_2IW"},
+		{"2bus_2cyclehop", r.Hop2, "Ring_8clus_2bus_2IW_2cyclehop", "Conv_8clus_2bus_2IW_2cyclehop"},
+		{"1bus_1cyclehop", r.Main, "Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW"},
+		{"1bus_2cyclehop", r.Hop2, "Ring_8clus_1bus_2IW_2cyclehop", "Conv_8clus_1bus_2IW_2cyclehop"},
+	}
+	for _, rw := range rows {
+		fmt.Fprintf(&b, "%-28s", rw.label)
+		for _, s := range suites {
+			fmt.Fprintf(&b, " %8.1f%%", 100*Speedup(rw.res, rw.ring, rw.conv, s))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig13 renders the speedup of Ring+SSA over Conv+SSA.
+func (r *Results) Fig13() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: Speedup of Ring+SSA over Conv+SSA\n")
+	b.WriteString(header("configuration"))
+	for _, pair := range ConfigPairs() {
+		fmt.Fprintf(&b, "%-28s", pair[0]+"+SSA")
+		for _, s := range suites {
+			fmt.Fprintf(&b, " %8.1f%%", 100*Speedup(r.SSA, pair[0]+"+SSA", pair[1]+"+SSA", s))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig14 renders NREADY under the simple steering algorithm.
+func (r *Results) Fig14() string {
+	return "Figure 14: Workload imbalance (NREADY) with Simple Steering Algorithm\n" +
+		metricTable(r.SSA, mainConfigNames("+SSA"), "configuration", "%9.2f",
+			func(s *core.Stats) float64 { return s.AvgNReady() })
+}
+
+// SSADrop renders the Section 4.7 textual claims: the performance drop of
+// each architecture when switching from its enhanced steering to SSA.
+func (r *Results) SSADrop() string {
+	var b strings.Builder
+	b.WriteString("Section 4.7: performance drop of X+SSA relative to X (negative = slower)\n")
+	b.WriteString(header("configuration"))
+	for _, pair := range ConfigPairs() {
+		for _, cfg := range []string{pair[0], pair[1]} {
+			fmt.Fprintf(&b, "%-28s", cfg+"+SSA vs base")
+			for _, s := range suites {
+				drop := r.crossSpeedup(cfg+"+SSA", cfg, s)
+				fmt.Fprintf(&b, " %8.1f%%", 100*drop)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// crossSpeedup compares a configuration in the SSA result set against one
+// in the main set (per-program IPC ratios, averaged).
+func (r *Results) crossSpeedup(ssaCfg, mainCfg string, s Suite) float64 {
+	progs := programsIn(s)
+	var sum float64
+	var n int
+	for _, p := range progs {
+		t, okT := r.SSA[Key{Config: ssaCfg, Program: p}]
+		b, okB := r.Main[Key{Config: mainCfg, Program: p}]
+		if !okT || !okB {
+			continue
+		}
+		tst, bst := t.Stats, b.Stats
+		if bst.IPC() == 0 {
+			continue
+		}
+		sum += tst.IPC()/bst.IPC() - 1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// All renders every figure in order.
+func (r *Results) All() string {
+	parts := []string{
+		r.Fig6(), r.Fig7(), r.Fig8(), r.Fig9(), r.Fig10(),
+		r.Fig11(), r.Fig12(), r.Fig13(), r.Fig14(), r.SSADrop(),
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,250 @@
+// Package harness runs simulation experiments: it expands (configuration ×
+// program) grids, fans the runs across a worker pool, and reduces the
+// per-program statistics into the suite-level aggregates (AVERAGE / INT /
+// FP) that the paper's figures plot.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Run is the result of simulating one program on one configuration.
+type Run struct {
+	Config  core.Config
+	Program string
+	Class   workload.ProgramClass
+	Stats   core.Stats
+	Err     error
+}
+
+// Key identifies a run within a result set.
+type Key struct {
+	Config  string
+	Program string
+}
+
+// Request describes one simulation to perform.
+type Request struct {
+	Config core.Config
+	// Program names the workload profile to run.
+	Program string
+	// Insts is the number of instructions to simulate after warm-up.
+	Insts uint64
+	// Warmup is the number of instructions to run before resetting
+	// statistics (the paper skips each program's initialization phase).
+	Warmup uint64
+}
+
+// Execute runs one simulation request synchronously.
+func Execute(req Request) Run {
+	out := Run{Config: req.Config, Program: req.Program}
+	prof, err := workload.ByName(req.Program)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Class = prof.Class
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	// Warm-up: the generator produces the stream; skipping instructions
+	// before the measured window warms the predictor and caches less
+	// faithfully than re-running, so we simply include a warm-up segment
+	// in the same machine and subtract nothing — the paper's own skip
+	// happens before its measured window on a warm machine. We instead
+	// run warm-up instructions through the machine and reset statistics.
+	m, err := core.New(req.Config, trace.NewLimit(gen, req.Warmup+req.Insts))
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if req.Warmup > 0 {
+		if err := runUntilCommitted(m, req.Warmup); err != nil {
+			out.Err = err
+			return out
+		}
+		m.ResetStats()
+	}
+	st, err := m.Run(0)
+	out.Stats = st
+	out.Err = err
+	return out
+}
+
+// runUntilCommitted steps the machine until it has committed at least n
+// instructions (or drained).
+func runUntilCommitted(m *core.Machine, n uint64) error {
+	for m.Stats().Committed < n && !m.Done() {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Grid runs every (config, program) pair across a worker pool and returns
+// results keyed by configuration name and program. The order of workers is
+// nondeterministic but each simulation is fully deterministic, so the
+// result set is reproducible.
+func Grid(configs []core.Config, programs []string, insts, warmup uint64) (map[Key]Run, error) {
+	reqs := make([]Request, 0, len(configs)*len(programs))
+	for _, cfg := range configs {
+		for _, p := range programs {
+			reqs = append(reqs, Request{Config: cfg, Program: p, Insts: insts, Warmup: warmup})
+		}
+	}
+	results := make([]Run, len(reqs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Execute(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	out := make(map[Key]Run, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", r.Config.Name, r.Program, r.Err)
+		}
+		out[Key{Config: r.Config.Name, Program: r.Program}] = r
+	}
+	return out, nil
+}
+
+// Metric extracts one scalar from a run's statistics.
+type Metric func(*core.Stats) float64
+
+// Suite selects which programs an aggregate covers.
+type Suite int
+
+const (
+	// SuiteAll averages over every program ("AVERAGE" in the figures).
+	SuiteAll Suite = iota
+	// SuiteInt averages over the integer programs.
+	SuiteInt
+	// SuiteFP averages over the FP programs.
+	SuiteFP
+)
+
+// String returns the paper's label for the suite.
+func (s Suite) String() string {
+	switch s {
+	case SuiteInt:
+		return "INT"
+	case SuiteFP:
+		return "FP"
+	default:
+		return "AVERAGE"
+	}
+}
+
+// programsIn returns the program names a suite covers, sorted.
+func programsIn(s Suite) []string {
+	switch s {
+	case SuiteInt:
+		return workload.SuiteNames(workload.ClassInt)
+	case SuiteFP:
+		return workload.SuiteNames(workload.ClassFP)
+	default:
+		all := append(workload.SuiteNames(workload.ClassInt), workload.SuiteNames(workload.ClassFP)...)
+		sort.Strings(all)
+		return all
+	}
+}
+
+// Aggregate computes the arithmetic mean of metric over the suite's
+// programs for the named configuration.
+func Aggregate(res map[Key]Run, config string, s Suite, metric Metric) float64 {
+	progs := programsIn(s)
+	var sum float64
+	var n int
+	for _, p := range progs {
+		r, ok := res[Key{Config: config, Program: p}]
+		if !ok {
+			continue
+		}
+		st := r.Stats
+		sum += metric(&st)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Speedup computes the mean over the suite of per-program IPC ratios
+// (test/base - 1), the way the paper reports speedups.
+func Speedup(res map[Key]Run, testCfg, baseCfg string, s Suite) float64 {
+	progs := programsIn(s)
+	var sum float64
+	var n int
+	for _, p := range progs {
+		t, okT := res[Key{Config: testCfg, Program: p}]
+		b, okB := res[Key{Config: baseCfg, Program: p}]
+		if !okT || !okB {
+			continue
+		}
+		bst, tst := b.Stats, t.Stats
+		if bst.IPC() == 0 {
+			continue
+		}
+		sum += tst.IPC()/bst.IPC() - 1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PaperConfigs returns the ten Table 3 configurations in the paper's order.
+func PaperConfigs() []core.Config {
+	type row struct {
+		arch              core.ArchKind
+		clusters, iw, bus int
+	}
+	rows := []row{
+		{core.ArchConv, 4, 2, 1},
+		{core.ArchConv, 8, 1, 1},
+		{core.ArchConv, 8, 1, 2},
+		{core.ArchConv, 8, 2, 1},
+		{core.ArchConv, 8, 2, 2},
+		{core.ArchRing, 4, 2, 1},
+		{core.ArchRing, 8, 1, 1},
+		{core.ArchRing, 8, 1, 2},
+		{core.ArchRing, 8, 2, 1},
+		{core.ArchRing, 8, 2, 2},
+	}
+	out := make([]core.Config, len(rows))
+	for i, r := range rows {
+		out[i] = core.MustPaperConfig(r.arch, r.clusters, r.iw, r.bus)
+	}
+	return out
+}
+
+// ConfigPairs returns the (Ring, Conv) configuration-name pairs the
+// speedup figures compare, in the paper's plotting order.
+func ConfigPairs() [][2]string {
+	return [][2]string{
+		{"Ring_4clus_1bus_2IW", "Conv_4clus_1bus_2IW"},
+		{"Ring_8clus_2bus_1IW", "Conv_8clus_2bus_1IW"},
+		{"Ring_8clus_1bus_1IW", "Conv_8clus_1bus_1IW"},
+		{"Ring_8clus_2bus_2IW", "Conv_8clus_2bus_2IW"},
+		{"Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW"},
+	}
+}

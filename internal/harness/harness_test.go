@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPaperConfigsComplete(t *testing.T) {
+	cfgs := PaperConfigs()
+	if len(cfgs) != 10 {
+		t.Fatalf("%d configurations, want 10 (Table 3)", len(cfgs))
+	}
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{
+		"Conv_4clus_1bus_2IW", "Ring_8clus_2bus_1IW", "Ring_8clus_1bus_2IW",
+	} {
+		if !names[want] {
+			t.Errorf("missing configuration %s", want)
+		}
+	}
+}
+
+func TestConfigPairsAlign(t *testing.T) {
+	for _, p := range ConfigPairs() {
+		ring, conv := p[0], p[1]
+		if !strings.HasPrefix(ring, "Ring_") || !strings.HasPrefix(conv, "Conv_") {
+			t.Errorf("pair %v misordered", p)
+		}
+		if strings.TrimPrefix(ring, "Ring_") != strings.TrimPrefix(conv, "Conv_") {
+			t.Errorf("pair %v compares different shapes", p)
+		}
+	}
+}
+
+func TestExecuteUnknownProgram(t *testing.T) {
+	r := Execute(Request{Config: core.MustPaperConfig(core.ArchRing, 4, 2, 1), Program: "nope", Insts: 100})
+	if r.Err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestGridAndAggregates(t *testing.T) {
+	cfgs := []core.Config{
+		core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+		core.MustPaperConfig(core.ArchConv, 4, 2, 1),
+	}
+	progs := []string{"gzip", "swim"}
+	res, err := Grid(cfgs, progs, 15000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("%d results, want 4", len(res))
+	}
+	for k, r := range res {
+		st := r.Stats
+		// Warm-up stops on a commit-width boundary, so the measured
+		// window can undershoot by up to CommitWidth-1 instructions.
+		if st.Committed < 15000-8 || st.Committed > 15000 {
+			t.Errorf("%v committed %d", k, st.Committed)
+		}
+		if st.IPC() <= 0 {
+			t.Errorf("%v IPC %v", k, st.IPC())
+		}
+	}
+	ipc := func(s *core.Stats) float64 { return s.IPC() }
+	all := Aggregate(res, cfgs[0].Name, SuiteAll, ipc)
+	intA := Aggregate(res, cfgs[0].Name, SuiteInt, ipc)
+	fpA := Aggregate(res, cfgs[0].Name, SuiteFP, ipc)
+	if all <= 0 || intA <= 0 || fpA <= 0 {
+		t.Fatal("aggregates not computed")
+	}
+	// With one INT and one FP program, AVERAGE = (INT + FP) / 2.
+	if diff := all - (intA+fpA)/2; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("average %v inconsistent with int %v fp %v", all, intA, fpA)
+	}
+	// Speedup of a configuration against itself is exactly zero.
+	if sp := Speedup(res, cfgs[0].Name, cfgs[0].Name, SuiteAll); sp != 0 {
+		t.Fatalf("self speedup %v", sp)
+	}
+}
+
+func TestGridDeterministicAcrossRuns(t *testing.T) {
+	cfg := []core.Config{core.MustPaperConfig(core.ArchRing, 4, 2, 1)}
+	progs := []string{"mcf"}
+	a, err := Grid(cfg, progs, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Grid(cfg, progs, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka := Key{Config: cfg[0].Name, Program: "mcf"}
+	if a[ka].Stats != b[ka].Stats {
+		t.Fatal("parallel grid runs nondeterministic")
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if SuiteAll.String() != "AVERAGE" || SuiteInt.String() != "INT" || SuiteFP.String() != "FP" {
+		t.Fatal("suite labels wrong")
+	}
+}
+
+func TestSSAAndHop2Configs(t *testing.T) {
+	for _, c := range SSAConfigs() {
+		if c.Steer != core.SteerSimple || !strings.HasSuffix(c.Name, "+SSA") {
+			t.Errorf("SSA config %s wrong", c.Name)
+		}
+	}
+	h2 := Hop2Configs()
+	if len(h2) != 4 {
+		t.Fatalf("%d hop-2 configs, want 4", len(h2))
+	}
+	for _, c := range h2 {
+		if c.HopLatency != 2 || !strings.Contains(c.Name, "2cyclehop") {
+			t.Errorf("hop-2 config %s wrong", c.Name)
+		}
+	}
+}
+
+// TestFiguresRender runs a reduced grid end to end and checks every
+// figure renders with the expected rows.
+func TestFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure grid in -short mode")
+	}
+	res, err := RunAll(8000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		out  string
+		rows []string
+	}{
+		{"Fig6", res.Fig6(), []string{"Ring_4clus_1bus_2IW", "Ring_8clus_1bus_2IW", "%"}},
+		{"Fig7", res.Fig7(), []string{"Conv_8clus_1bus_1IW", "Ring_8clus_1bus_1IW"}},
+		{"Fig8", res.Fig8(), []string{"distance"}},
+		{"Fig9", res.Fig9(), []string{"contention"}},
+		{"Fig10", res.Fig10(), []string{"NREADY"}},
+		{"Fig11", res.Fig11(), []string{"swim", "gzip", "clus7"}},
+		{"Fig12", res.Fig12(), []string{"2bus_2cyclehop", "1bus_2cyclehop"}},
+		{"Fig13", res.Fig13(), []string{"Ring_8clus_1bus_1IW+SSA"}},
+		{"Fig14", res.Fig14(), []string{"Conv_8clus_1bus_2IW+SSA"}},
+		{"SSADrop", res.SSADrop(), []string{"vs base"}},
+	}
+	for _, c := range checks {
+		for _, row := range c.rows {
+			if !strings.Contains(c.out, row) {
+				t.Errorf("%s missing %q:\n%s", c.name, row, c.out)
+			}
+		}
+	}
+	if all := res.All(); len(all) < 1000 {
+		t.Error("All() output suspiciously short")
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestFig6Orderings pins the paper's qualitative Figure 6 claims at
+// reduced scale over the full suite: Ring wins on average and on FP for
+// every configuration, FP speedups exceed INT speedups, and removing a
+// bus helps Ring relative to Conv.
+func TestFig6Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite grid in -short mode")
+	}
+	res, err := Grid(PaperConfigs(), workload.Names(), 25000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedups := map[string][3]float64{}
+	for _, pair := range ConfigPairs() {
+		speedups[pair[0]] = [3]float64{
+			Speedup(res, pair[0], pair[1], SuiteAll),
+			Speedup(res, pair[0], pair[1], SuiteInt),
+			Speedup(res, pair[0], pair[1], SuiteFP),
+		}
+	}
+	for cfg, s := range speedups {
+		if s[0] <= 0 {
+			t.Errorf("%s: average speedup %.1f%% not positive", cfg, 100*s[0])
+		}
+		if s[2] <= 0 {
+			t.Errorf("%s: FP speedup %.1f%% not positive", cfg, 100*s[2])
+		}
+		if s[2] <= s[1] {
+			t.Errorf("%s: FP speedup %.1f%% not above INT %.1f%%", cfg, 100*s[2], 100*s[1])
+		}
+	}
+	// Scarcer interconnect favors Ring: 1 bus beats 2 buses at both
+	// issue widths.
+	if speedups["Ring_8clus_1bus_1IW"][0] <= speedups["Ring_8clus_2bus_1IW"][0] {
+		t.Error("1-bus speedup not above 2-bus at 1IW")
+	}
+	if speedups["Ring_8clus_1bus_2IW"][0] <= speedups["Ring_8clus_2bus_2IW"][0] {
+		t.Error("1-bus speedup not above 2-bus at 2IW")
+	}
+}
+
+// TestFig7To10Orderings pins the supporting figures' orderings for the
+// headline 8-cluster single-bus configuration: Ring communicates less,
+// over shorter distances, with less contention, at slightly worse
+// balance.
+func TestFig7To10Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite grid in -short mode")
+	}
+	cfgs := []core.Config{
+		core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		core.MustPaperConfig(core.ArchConv, 8, 2, 1),
+	}
+	res, err := Grid(cfgs, workload.Names(), 25000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(cfg string, m Metric) float64 { return Aggregate(res, cfg, SuiteAll, m) }
+	ring, conv := cfgs[0].Name, cfgs[1].Name
+
+	comms := func(s *core.Stats) float64 { return s.CommsPerInst() }
+	dist := func(s *core.Stats) float64 { return s.AvgCommDistance() }
+	wait := func(s *core.Stats) float64 { return s.AvgCommWait() }
+	nready := func(s *core.Stats) float64 { return s.AvgNReady() }
+
+	if get(ring, comms) >= get(conv, comms) {
+		t.Errorf("Fig 7: Ring comms %.3f >= Conv %.3f", get(ring, comms), get(conv, comms))
+	}
+	if get(ring, dist) >= get(conv, dist) {
+		t.Errorf("Fig 8: Ring distance %.2f >= Conv %.2f", get(ring, dist), get(conv, dist))
+	}
+	if get(ring, wait) >= get(conv, wait) {
+		t.Errorf("Fig 9: Ring contention %.2f >= Conv %.2f", get(ring, wait), get(conv, wait))
+	}
+	if get(ring, nready) <= get(conv, nready) {
+		t.Errorf("Fig 10: Ring NREADY %.2f <= Conv %.2f (Conv should balance better)",
+			get(ring, nready), get(conv, nready))
+	}
+}

@@ -1,0 +1,147 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassStrings(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "Class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if s := Class(200).String(); !strings.HasPrefix(s, "Class(") {
+		t.Errorf("out-of-range class string = %q", s)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c               Class
+		fp, mem, branch bool
+		latency         int
+		pipelined       bool
+	}{
+		{IntALU, false, false, false, 1, true},
+		{IntMult, false, false, false, 3, true},
+		{IntDiv, false, false, false, 20, false},
+		{FPAdd, true, false, false, 2, true},
+		{FPMult, true, false, false, 4, true},
+		{FPDiv, true, false, false, 12, false},
+		{Load, false, true, false, 1, true},
+		{Store, false, true, false, 1, true},
+		{Branch, false, false, true, 1, true},
+	}
+	for _, tc := range cases {
+		if tc.c.IsFP() != tc.fp {
+			t.Errorf("%v IsFP = %v", tc.c, tc.c.IsFP())
+		}
+		if tc.c.IsMem() != tc.mem {
+			t.Errorf("%v IsMem = %v", tc.c, tc.c.IsMem())
+		}
+		if tc.c.IsBranch() != tc.branch {
+			t.Errorf("%v IsBranch = %v", tc.c, tc.c.IsBranch())
+		}
+		if tc.c.Latency() != tc.latency {
+			t.Errorf("%v latency = %d, want %d", tc.c, tc.c.Latency(), tc.latency)
+		}
+		if tc.c.Pipelined() != tc.pipelined {
+			t.Errorf("%v pipelined = %v", tc.c, tc.c.Pipelined())
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if got := (Reg{Kind: IntReg, Idx: 7}).String(); got != "r7" {
+		t.Errorf("int reg string = %q", got)
+	}
+	if got := (Reg{Kind: FPReg, Idx: 12}).String(); got != "f12" {
+		t.Errorf("fp reg string = %q", got)
+	}
+}
+
+func TestZeroReg(t *testing.T) {
+	z := Reg{Kind: IntReg, Idx: ZeroReg}
+	if !z.IsZero() {
+		t.Error("r31 not recognized as zero register")
+	}
+	if (Reg{Kind: IntReg, Idx: 3}).IsZero() {
+		t.Error("r3 recognized as zero register")
+	}
+}
+
+func TestSrcRegsFiltersZeros(t *testing.T) {
+	in := Inst{
+		Class:   IntALU,
+		NumSrcs: 2,
+		Src:     [2]Reg{{Kind: IntReg, Idx: ZeroReg}, {Kind: IntReg, Idx: 4}},
+	}
+	var buf [2]Reg
+	srcs := in.SrcRegs(&buf)
+	if len(srcs) != 1 || srcs[0].Idx != 4 {
+		t.Errorf("SrcRegs = %v, want [r4]", srcs)
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	in := Inst{Class: IntALU, HasDest: true, Dest: Reg{Kind: IntReg, Idx: 5}}
+	if !in.WritesReg() {
+		t.Error("dest r5 not recognized as register write")
+	}
+	in.Dest.Idx = ZeroReg
+	if in.WritesReg() {
+		t.Error("write to zero register counted")
+	}
+	in.HasDest = false
+	if in.WritesReg() {
+		t.Error("no-dest instruction counted as write")
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	in := Inst{
+		Seq:     1,
+		Class:   IntALU,
+		NumSrcs: 2,
+		Src:     [2]Reg{{Idx: 1}, {Idx: 2}},
+		HasDest: true,
+		Dest:    Reg{Idx: 3},
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+	}{
+		{"bad class", Inst{Class: NumClasses}},
+		{"too many sources", Inst{Class: IntALU, NumSrcs: 3}},
+		{"source out of range", Inst{Class: IntALU, NumSrcs: 1, Src: [2]Reg{{Idx: 40}}}},
+		{"dest out of range", Inst{Class: IntALU, HasDest: true, Dest: Reg{Idx: 33}}},
+		{"store with dest", Inst{Class: Store, HasDest: true, Dest: Reg{Idx: 1}}},
+		{"branch with dest", Inst{Class: Branch, HasDest: true, Dest: Reg{Idx: 1}}},
+	}
+	for _, tc := range cases {
+		if err := tc.in.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{
+		Seq: 9, Class: Load, NumSrcs: 1,
+		Src: [2]Reg{{Kind: IntReg, Idx: 2}}, HasDest: true,
+		Dest: Reg{Kind: FPReg, Idx: 6}, EffAddr: 0x100,
+	}
+	s := in.String()
+	for _, want := range []string{"#9", "Load", "f6", "r2", "0x100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package layout implements the technology-independent area model the
+// paper uses (after Gupta, Keckler and Burger, UT-Austin TR2000-5) to
+// argue that the ring organization is physically realizable: that the wire
+// from one cluster's functional-unit outputs to the next cluster's inputs
+// is no longer than the intra-cluster bypass of a conventional cluster.
+//
+// All dimensions are in λ (half the feature size), which makes the model
+// process-independent. Section 3.2's conclusions reduce to arithmetic over
+// the block dimensions of Table 1; this package reproduces Table 1 from
+// the per-cell areas and the distance analysis of Figures 4 and 5.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Cell areas in λ² (Table 1 and the underlying model).
+const (
+	// CAMCellArea is the area of one content-addressable bit cell of an
+	// issue-queue entry (wakeup match storage).
+	CAMCellArea = 22_300
+	// RAMCellArea is the area of one RAM bit cell of an issue-queue
+	// entry (payload storage).
+	RAMCellArea = 13_900
+	// RegFileCellArea is the per-bit register file cell at 3 read + 3
+	// write ports (the paper derates the model's published 4R+2W cell of
+	// 27,200 λ² to 40,600 λ², a pessimistic assumption in the ring's
+	// favor).
+	RegFileCellArea = 40_600
+	// IntALUBitArea, IntMultBitArea and FPUBitArea are per-bit-slice
+	// areas of the datapath blocks.
+	IntALUBitArea  = 2_410_000
+	IntMultBitArea = 1_840_000
+	FPUBitArea     = 4_550_000
+)
+
+// Block is one placed component of a cluster module.
+type Block struct {
+	Name string
+	// Area is the total block area in λ².
+	Area float64
+	// Height and Width are the block dimensions in λ. All blocks except
+	// the queues are square; queues are folded to a fixed 1,000 λ width
+	// as in Table 1.
+	Height, Width float64
+}
+
+// queue returns a queue block (CAM + RAM array folded to 1,000 λ wide).
+func queue(name string, entries, camBits, ramBits int) Block {
+	area := float64(entries) * (float64(camBits)*CAMCellArea + float64(ramBits)*RAMCellArea)
+	const width = 1_000
+	return Block{Name: name, Area: area, Height: area / width, Width: width}
+}
+
+// square returns a square block of the given total area.
+func square(name string, area float64) Block {
+	side := math.Sqrt(area)
+	return Block{Name: name, Area: area, Height: side, Width: side}
+}
+
+// Config sizes the blocks of one cluster module.
+type Config struct {
+	IssueQueueEntries int // per side (paper: 16)
+	IssueCAMBits      int // wakeup tag bits per entry (paper: 12)
+	IssueRAMBits      int // payload bits per entry (paper: 24)
+	CommQueueEntries  int // paper: 16
+	CommCAMBits       int // paper: 6
+	CommRAMBits       int // paper: 9
+	Registers         int // per file (paper: 48 at 8 clusters)
+	RegisterBits      int // paper: 64
+	DatapathBits      int // paper: 64
+}
+
+// DefaultConfig returns the Table 1 parameters.
+func DefaultConfig() Config {
+	return Config{
+		IssueQueueEntries: 16,
+		IssueCAMBits:      12,
+		IssueRAMBits:      24,
+		CommQueueEntries:  16,
+		CommCAMBits:       6,
+		CommRAMBits:       9,
+		Registers:         48,
+		RegisterBits:      64,
+		DatapathBits:      64,
+	}
+}
+
+// Blocks computes every cluster block of Table 1.
+type Blocks struct {
+	IssueQueue Block
+	CommQueue  Block
+	RegFile    Block
+	IntALU     Block
+	IntMult    Block
+	FPU        Block
+}
+
+// Compute derives all block dimensions from the cell-area model.
+func Compute(cfg Config) Blocks {
+	return Blocks{
+		IssueQueue: queue("Issue queue", cfg.IssueQueueEntries, cfg.IssueCAMBits, cfg.IssueRAMBits),
+		CommQueue:  queue("Comm. queue", cfg.CommQueueEntries, cfg.CommCAMBits, cfg.CommRAMBits),
+		RegFile:    square("Register file", float64(cfg.Registers*cfg.RegisterBits)*RegFileCellArea),
+		IntALU:     square("Integer ALU", float64(cfg.DatapathBits)*IntALUBitArea),
+		IntMult:    square("Integer Multiplier", float64(cfg.DatapathBits)*IntMultBitArea),
+		FPU:        square("FP Unit (Add+Mult)", float64(cfg.DatapathBits)*FPUBitArea),
+	}
+}
+
+// All returns the blocks in Table 1 order.
+func (b *Blocks) All() []Block {
+	return []Block{b.IssueQueue, b.CommQueue, b.RegFile, b.IntALU, b.IntMult, b.FPU}
+}
+
+// Table1 renders the computed block table in the paper's format.
+func Table1(cfg Config) string {
+	b := Compute(cfg)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %14s %10s %10s\n", "Component", "Area (λ²)", "Height(λ)", "Width(λ)")
+	for _, blk := range b.All() {
+		fmt.Fprintf(&sb, "%-22s %14.0f %10.0f %10.0f\n", blk.Name, blk.Area, blk.Height, blk.Width)
+	}
+	return sb.String()
+}
+
+// Distances is the Section 3.2 wire-length analysis for the ring layout.
+type Distances struct {
+	// IntraConventional is the intra-cluster bypass distance of a
+	// conventional cluster, bounded by the largest block (the FPU): any
+	// output must reach any input across the cluster.
+	IntraConventional float64
+	// UnifiedRingInt is the worst-case output-to-input distance for
+	// integer data between adjacent cluster modules in the unified-ring
+	// floorplan of Figure 4 (straight module to straight module, from
+	// the integer multiplier's output around the FPU to the next
+	// module's integer units).
+	UnifiedRingInt float64
+	// UnifiedRingFP is the worst case for FP data, reached when any
+	// module feeds a corner module (Figure 4b).
+	UnifiedRingFP float64
+	// UnifiedRingFPFilled is the FP worst case if the FPU fills the
+	// empty center of the corner module (the paper's mitigation).
+	UnifiedRingFPFilled float64
+	// SplitRings is the worst case for either data type when integer
+	// and FP clusters form two independent rings (Figure 5): any module
+	// connected to a straight one spans only the register file.
+	SplitRings float64
+}
+
+// Analyze reproduces the Figure 4/5 distance arithmetic from the computed
+// block dimensions. The paper quotes 17,400 λ (integer), 23,300 λ (FP,
+// 10,900 λ with a filled corner) and 11,200 λ (split rings) for the
+// default configuration; the same expressions over the model's block
+// sizes reproduce those numbers to within rounding.
+func Analyze(cfg Config) Distances {
+	b := Compute(cfg)
+	return Distances{
+		// A conventional cluster bypasses across its own datapath; the
+		// FPU is the largest block, so its span bounds the wire.
+		IntraConventional: b.FPU.Height,
+		// Figure 4a: from the integer multiplier output of one straight
+		// module, along the FPU edge, to the farthest integer input of
+		// the next straight module: FPU − IntMult + RegFile.
+		UnifiedRingInt: b.FPU.Height - b.IntMult.Height + b.RegFile.Height,
+		// Figure 4b: into a corner module the FP path spans the integer
+		// ALU plus the integer multiplier.
+		UnifiedRingFP: b.IntALU.Height + b.IntMult.Height,
+		// With the FPU moved into the corner's empty center the FP path
+		// shrinks to the multiplier span.
+		UnifiedRingFPFilled: b.IntMult.Height,
+		// Figure 5: separate INT and FP rings; the worst span is the
+		// register file edge.
+		SplitRings: b.RegFile.Height,
+	}
+}
+
+// Feasible reports the paper's conclusion for this configuration: whether
+// inter-cluster forwarding on the ring is no slower than the conventional
+// intra-cluster bypass, for integer and FP data respectively (FP assumes
+// the filled-corner mitigation when needed).
+func (d Distances) Feasible() (intOK, fpOK bool) {
+	intOK = d.UnifiedRingInt <= d.IntraConventional*1.05
+	fpOK = d.UnifiedRingFP <= d.IntraConventional*1.05 ||
+		d.UnifiedRingFPFilled <= d.IntraConventional*1.05
+	return
+}
+
+// Report renders the Section 3.2 analysis.
+func Report(cfg Config) string {
+	d := Analyze(cfg)
+	intOK, fpOK := d.Feasible()
+	var sb strings.Builder
+	sb.WriteString("Section 3.2 layout analysis (distances in λ)\n")
+	fmt.Fprintf(&sb, "  conventional intra-cluster bypass bound: %8.0f\n", d.IntraConventional)
+	fmt.Fprintf(&sb, "  unified ring, integer worst case:        %8.0f (paper: 17,400)\n", d.UnifiedRingInt)
+	fmt.Fprintf(&sb, "  unified ring, FP worst case:             %8.0f (paper: 23,300)\n", d.UnifiedRingFP)
+	fmt.Fprintf(&sb, "  unified ring, FP with filled corner:     %8.0f (paper: 10,900)\n", d.UnifiedRingFPFilled)
+	fmt.Fprintf(&sb, "  split INT/FP rings, worst case:          %8.0f (paper: 11,200)\n", d.SplitRings)
+	fmt.Fprintf(&sb, "  feasible at conventional bypass delay: integer=%v fp=%v\n", intOK, fpOK)
+	return sb.String()
+}

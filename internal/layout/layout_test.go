@@ -1,0 +1,129 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// within reports |got-want|/want <= tol.
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestTable1BlockAreas(t *testing.T) {
+	b := Compute(DefaultConfig())
+	// Paper Table 1 totals (λ²). The comm queue is the one entry whose
+	// printed total (8,006,400) does not follow from its own printed
+	// cell counts (16 entries × (6×22,300 + 9×13,900) = 4,142,400); we
+	// reproduce the model, not the typo.
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"issue queue", b.IssueQueue.Area, 9_619_200},
+		{"register file", b.RegFile.Area, 124_723_200},
+		{"int ALU", b.IntALU.Area, 154_240_000},
+		{"int multiplier", b.IntMult.Area, 117_760_000},
+		{"FPU", b.FPU.Area, 291_200_000},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s area %.0f, want %.0f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestTable1BlockDimensions(t *testing.T) {
+	b := Compute(DefaultConfig())
+	cases := []struct {
+		name      string
+		got, want float64
+	}{
+		{"issue queue height", b.IssueQueue.Height, 9_619},
+		{"register file side", b.RegFile.Height, 11_168},
+		{"int ALU side", b.IntALU.Height, 12_419},
+		{"int multiplier side", b.IntMult.Height, 10_852},
+		{"FPU side", b.FPU.Height, 17_065},
+	}
+	for _, c := range cases {
+		if !within(c.got, c.want, 0.001) {
+			t.Errorf("%s = %.0f, want about %.0f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestQueuesAreFolded(t *testing.T) {
+	b := Compute(DefaultConfig())
+	if b.IssueQueue.Width != 1000 || b.CommQueue.Width != 1000 {
+		t.Error("queue blocks should fold to 1,000 λ width")
+	}
+	if b.RegFile.Height != b.RegFile.Width {
+		t.Error("register file should be square")
+	}
+}
+
+func TestSection32Distances(t *testing.T) {
+	d := Analyze(DefaultConfig())
+	cases := []struct {
+		name      string
+		got, want float64
+	}{
+		{"unified ring int", d.UnifiedRingInt, 17_400},
+		{"unified ring FP", d.UnifiedRingFP, 23_300},
+		{"unified ring FP filled", d.UnifiedRingFPFilled, 10_900},
+		{"split rings", d.SplitRings, 11_200},
+	}
+	for _, c := range cases {
+		if !within(c.got, c.want, 0.01) {
+			t.Errorf("%s = %.0f, want about %.0f (paper)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	d := Analyze(DefaultConfig())
+	intOK, fpOK := d.Feasible()
+	if !intOK {
+		t.Error("integer ring forwarding should be feasible at conventional delay")
+	}
+	if !fpOK {
+		t.Error("FP ring forwarding should be feasible with the filled-corner mitigation")
+	}
+	// The unmitigated FP path exceeds the conventional bypass — the
+	// paper's own observation ("only FP data may have their bypass delay
+	// increased").
+	if d.UnifiedRingFP <= d.IntraConventional {
+		t.Error("unmitigated FP path unexpectedly within conventional bound")
+	}
+}
+
+func TestScalingWithRegisters(t *testing.T) {
+	small := Compute(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Registers = 64
+	big := Compute(cfg)
+	if big.RegFile.Area <= small.RegFile.Area {
+		t.Error("register file area did not grow with register count")
+	}
+	wantRatio := 64.0 / 48.0
+	if !within(big.RegFile.Area/small.RegFile.Area, wantRatio, 1e-9) {
+		t.Error("register file area not linear in registers")
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	tbl := Table1(DefaultConfig())
+	for _, want := range []string{"Issue queue", "Register file", "FP Unit"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	rep := Report(DefaultConfig())
+	for _, want := range []string{"17,400", "23,300", "feasible"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package queue provides the bounded containers the pipeline is built
+// from: an order-preserving issue buffer that supports removal from the
+// middle (instructions issue out of order but are scanned oldest-first),
+// and a circular FIFO used for the reorder buffer, fetch queue and
+// load/store queue.
+package queue
+
+import "fmt"
+
+// Bounded is an order-preserving buffer with a fixed capacity and removal
+// at arbitrary positions. Elements keep their relative insertion order;
+// scanning index 0..Len()-1 visits oldest to youngest. Removal compacts in
+// place, which is cheap at the 16-32 entry sizes issue queues have.
+type Bounded[T any] struct {
+	items []T
+	cap   int
+}
+
+// NewBounded returns an empty buffer with the given capacity. It panics if
+// capacity is not positive.
+func NewBounded[T any](capacity int) *Bounded[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: non-positive capacity %d", capacity))
+	}
+	return &Bounded[T]{items: make([]T, 0, capacity), cap: capacity}
+}
+
+// Len returns the number of buffered elements.
+func (b *Bounded[T]) Len() int { return len(b.items) }
+
+// Cap returns the capacity.
+func (b *Bounded[T]) Cap() int { return b.cap }
+
+// Free returns the remaining capacity.
+func (b *Bounded[T]) Free() int { return b.cap - len(b.items) }
+
+// Full reports whether no space remains.
+func (b *Bounded[T]) Full() bool { return len(b.items) >= b.cap }
+
+// Push appends v as the youngest element. It returns false when full.
+func (b *Bounded[T]) Push(v T) bool {
+	if len(b.items) >= b.cap {
+		return false
+	}
+	b.items = append(b.items, v)
+	return true
+}
+
+// At returns a pointer to the i-th oldest element. The pointer is
+// invalidated by Push and RemoveAt.
+func (b *Bounded[T]) At(i int) *T { return &b.items[i] }
+
+// RemoveAt deletes the i-th oldest element, preserving order.
+func (b *Bounded[T]) RemoveAt(i int) {
+	copy(b.items[i:], b.items[i+1:])
+	b.items = b.items[:len(b.items)-1]
+}
+
+// Clear empties the buffer.
+func (b *Bounded[T]) Clear() { b.items = b.items[:0] }
+
+// Ring is a bounded FIFO over a circular slice: the reorder buffer, fetch
+// queue and LSQ. Entries are addressed by stable absolute indices (Head()
+// .. Head()+Len()-1) so pipeline structures can hold references to ROB
+// slots that survive pops of older entries... indices grow monotonically.
+type Ring[T any] struct {
+	buf   []T
+	head  uint64 // absolute index of oldest element
+	count int
+}
+
+// NewRing returns an empty ring with the given capacity (must be > 0).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: non-positive capacity %d", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of elements.
+func (r *Ring[T]) Len() int { return r.count }
+
+// Cap returns the capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Free returns remaining capacity.
+func (r *Ring[T]) Free() int { return len(r.buf) - r.count }
+
+// Full reports whether no space remains.
+func (r *Ring[T]) Full() bool { return r.count >= len(r.buf) }
+
+// Head returns the absolute index of the oldest element. Valid only when
+// Len() > 0, but callable anytime (it returns the index the next oldest
+// element will have).
+func (r *Ring[T]) Head() uint64 { return r.head }
+
+// Tail returns the absolute index one past the youngest element; the next
+// Push stores at this index.
+func (r *Ring[T]) Tail() uint64 { return r.head + uint64(r.count) }
+
+// Push appends v and returns its absolute index. ok is false when full.
+func (r *Ring[T]) Push(v T) (idx uint64, ok bool) {
+	if r.count >= len(r.buf) {
+		return 0, false
+	}
+	idx = r.head + uint64(r.count)
+	r.buf[idx%uint64(len(r.buf))] = v
+	r.count++
+	return idx, true
+}
+
+// Pop removes and returns the oldest element. ok is false when empty.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	if r.count == 0 {
+		return v, false
+	}
+	v = r.buf[r.head%uint64(len(r.buf))]
+	var zero T
+	r.buf[r.head%uint64(len(r.buf))] = zero
+	r.head++
+	r.count--
+	return v, true
+}
+
+// Peek returns a pointer to the oldest element, or nil when empty.
+func (r *Ring[T]) Peek() *T {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.buf[r.head%uint64(len(r.buf))]
+}
+
+// AtAbs returns a pointer to the element at absolute index idx. It panics
+// if idx is outside [Head(), Tail()).
+func (r *Ring[T]) AtAbs(idx uint64) *T {
+	if idx < r.head || idx >= r.head+uint64(r.count) {
+		panic(fmt.Sprintf("queue: absolute index %d outside [%d,%d)", idx, r.head, r.head+uint64(r.count)))
+	}
+	return &r.buf[idx%uint64(len(r.buf))]
+}
+
+// Contains reports whether absolute index idx addresses a live element.
+func (r *Ring[T]) Contains(idx uint64) bool {
+	return idx >= r.head && idx < r.head+uint64(r.count)
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 30} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(5)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	const draws = 50000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency %v", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	const p, draws = 0.25, 50000
+	sum := 0
+	for i := 0; i < draws; i++ {
+		sum += r.Geometric(p)
+	}
+	got := float64(sum) / draws
+	want := (1 - p) / p
+	if math.Abs(got-want) > 0.15 {
+		t.Errorf("Geometric(%v) mean %v, want about %v", p, got, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) != 0")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const mean, draws = 5.0, 50000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / draws
+	if math.Abs(got-mean) > 0.2 {
+		t.Errorf("Exp(%v) mean %v", mean, got)
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	r := New(19)
+	weights := []float64{0, 1, 3, 0}
+	var counts [4]int
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight entries picked: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio %v, want about 3", ratio)
+	}
+}
+
+func TestPickPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero total did not panic")
+		}
+	}()
+	New(1).Pick([]float64{0, 0})
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(23)
+	const n = 50
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool)
+	for _, v := range vals {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("not a permutation: %v", vals)
+		}
+		seen[v] = true
+	}
+}
+
+// TestIntnAlwaysInRange is a property check over arbitrary seeds and
+// bounds.
+func TestIntnAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMul64MatchesBigMath property-checks the 128-bit multiply helper
+// against the language's native 64-bit truncation identity.
+func TestMul64MatchesBigMath(t *testing.T) {
+	f := func(x, y uint64) bool {
+		_, lo := mul64(x, y)
+		return lo == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package steering implements the cluster-assignment policies the paper
+// evaluates:
+//
+//   - Ring: the dependence-based policy of Section 3.1, which follows
+//     operands and breaks ties toward the cluster with more free
+//     registers. On the ring machine this policy is inherently
+//     workload-balanced.
+//   - Conv: the state-of-the-art policy of Section 4.1 (after Parcerisa
+//     et al., PACT'02), which follows dependences but overrides them with
+//     the least-loaded cluster whenever the DCOUNT workload-imbalance
+//     metric exceeds a threshold.
+//   - SSA: the "simple steering algorithm" of Section 4.7 — leftmost
+//     operand, lowest cluster index, round-robin for operand-less
+//     instructions — with no balance control at all.
+//
+// Algorithms are pure deciders: they see the machine through the View
+// interface and return a cluster. The core performs resource checks and
+// stalls dispatch if the chosen cluster cannot accept the instruction,
+// exactly as the paper specifies ("if the chosen cluster is full, then the
+// dispatch stage is stalled").
+package steering
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// View is the machine state a steering algorithm may consult.
+type View interface {
+	// NumClusters returns the number of clusters.
+	NumClusters() int
+	// FreeRegs returns the free physical registers of the given namespace
+	// in cluster c.
+	FreeRegs(c int, kind isa.RegFileKind) int
+	// CommDistance returns the minimum hop count to move a value from
+	// cluster src to cluster dst over the machine's buses.
+	CommDistance(src, dst int) int
+}
+
+// Operand describes one renamed source operand at dispatch time.
+type Operand struct {
+	// Mask has bit c set if the value is, or will become, readable by
+	// instructions in cluster c (home cluster plus any communication
+	// destinations already dispatched).
+	Mask uint32
+	// Pending reports whether the value has not been produced yet.
+	Pending bool
+}
+
+// Request describes the instruction being steered.
+type Request struct {
+	// Ops holds the renamed register source operands (0 to 2). Operands
+	// reading the hardwired zero register are excluded by the core.
+	Ops [2]Operand
+	// NumOps is how many of Ops are meaningful.
+	NumOps int
+	// Kind is the namespace used for free-register tie-breaking: the
+	// destination's namespace when the instruction writes a register,
+	// else the integer namespace.
+	Kind isa.RegFileKind
+}
+
+// Algorithm decides the execution cluster for each instruction in
+// dispatch order. Implementations are not safe for concurrent use.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Choose returns the cluster the instruction should dispatch to.
+	Choose(v View, req *Request) int
+	// OnDispatch informs the algorithm that an instruction was actually
+	// dispatched to cluster c (not called when dispatch stalls).
+	OnDispatch(c int)
+	// Tick advances per-cycle state (e.g. DCOUNT decay).
+	Tick()
+}
+
+// allMask returns a mask with bits 0..n-1 set.
+func allMask(n int) uint32 { return uint32(1)<<uint(n) - 1 }
+
+// mostFree returns the cluster with the most free registers of the given
+// kind among those selected by mask, breaking ties toward lower indices.
+func mostFree(v View, mask uint32, kind isa.RegFileKind) int {
+	best, bestFree := -1, math.MinInt
+	n := v.NumClusters()
+	for c := 0; c < n; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		if f := v.FreeRegs(c, kind); f > bestFree {
+			best, bestFree = c, f
+		}
+	}
+	return best
+}
+
+// minDistTo returns the minimum hop count needed to bring a value with the
+// given copy mask to cluster dst (0 when already mapped there).
+func minDistTo(v View, mask uint32, dst int) int {
+	if mask&(1<<uint(dst)) != 0 {
+		return 0
+	}
+	best := math.MaxInt
+	n := v.NumClusters()
+	for s := 0; s < n; s++ {
+		if mask&(1<<uint(s)) == 0 {
+			continue
+		}
+		if d := v.CommDistance(s, dst); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Ring is the dependence-based policy of Section 3.1.
+type Ring struct{}
+
+// NewRing returns the ring machine's steering policy.
+func NewRing() *Ring { return &Ring{} }
+
+// Name implements Algorithm.
+func (*Ring) Name() string { return "ring-dependence" }
+
+// OnDispatch implements Algorithm (the ring policy is stateless).
+func (*Ring) OnDispatch(int) {}
+
+// Tick implements Algorithm.
+func (*Ring) Tick() {}
+
+// Choose implements the algorithm exactly as Section 3.1 states it.
+func (*Ring) Choose(v View, req *Request) int {
+	n := v.NumClusters()
+	all := allMask(n)
+	norm := func(m uint32) uint32 {
+		if m == 0 {
+			return all // unwritten live-ins are readable everywhere
+		}
+		return m
+	}
+	switch req.NumOps {
+	case 0:
+		// "The cluster with more free registers is chosen."
+		return mostFree(v, all, req.Kind)
+	case 1:
+		// "Those clusters where the register is mapped are selected, and
+		// the one with more free registers among them is chosen."
+		return mostFree(v, norm(req.Ops[0].Mask), req.Kind)
+	default:
+		m0, m1 := norm(req.Ops[0].Mask), norm(req.Ops[1].Mask)
+		if both := m0 & m1; both != 0 {
+			// "Those clusters where both registers are mapped are
+			// selected, and the one with more free registers among them
+			// is chosen."
+			return mostFree(v, both, req.Kind)
+		}
+		// "Those clusters where one operand is mapped are chosen. Since
+		// one communication is required, it is chosen the one that incurs
+		// in the shorter communication distance. If there is more than
+		// one, the one with more free registers among them is chosen."
+		candidates := m0 | m1
+		bestDist := math.MaxInt
+		var bestMask uint32
+		for c := 0; c < n; c++ {
+			if candidates&(1<<uint(c)) == 0 {
+				continue
+			}
+			// The operand not mapped in c must be communicated.
+			var other uint32
+			if m0&(1<<uint(c)) != 0 {
+				other = m1
+			} else {
+				other = m0
+			}
+			d := minDistTo(v, other, c)
+			switch {
+			case d < bestDist:
+				bestDist = d
+				bestMask = 1 << uint(c)
+			case d == bestDist:
+				bestMask |= 1 << uint(c)
+			}
+		}
+		return mostFree(v, bestMask, req.Kind)
+	}
+}
+
+// ConvConfig tunes the conventional policy's imbalance controller.
+type ConvConfig struct {
+	// Threshold is the DCOUNT imbalance (max minus min) above which the
+	// policy abandons dependences and picks the least-loaded cluster.
+	Threshold float64
+	// DecayPeriod is how often, in cycles, the DCOUNT counters decay.
+	DecayPeriod int
+	// DecayFactor multiplies the counters each decay (0 < f < 1).
+	DecayFactor float64
+}
+
+// DefaultConvConfig returns the tuning used throughout the evaluation.
+func DefaultConvConfig() ConvConfig {
+	return ConvConfig{Threshold: 24, DecayPeriod: 64, DecayFactor: 0.5}
+}
+
+// Conv is the baseline policy of Section 4.1: dependence-based steering
+// with DCOUNT workload-imbalance control.
+type Conv struct {
+	cfg    ConvConfig
+	dcount []float64
+	ticks  int
+}
+
+// NewConv returns the conventional policy for n clusters.
+func NewConv(n int, cfg ConvConfig) *Conv {
+	if n < 1 {
+		panic(fmt.Sprintf("steering: %d clusters", n))
+	}
+	if cfg.Threshold <= 0 || cfg.DecayPeriod <= 0 || cfg.DecayFactor <= 0 || cfg.DecayFactor >= 1 {
+		panic("steering: bad ConvConfig")
+	}
+	return &Conv{cfg: cfg, dcount: make([]float64, n)}
+}
+
+// Name implements Algorithm.
+func (*Conv) Name() string { return "conv-dcount" }
+
+// DCount returns the current DCOUNT value for cluster c (for tests and
+// introspection).
+func (cv *Conv) DCount(c int) float64 { return cv.dcount[c] }
+
+// Imbalance returns max(DCOUNT) - min(DCOUNT).
+func (cv *Conv) Imbalance() float64 {
+	mn, mx := cv.dcount[0], cv.dcount[0]
+	for _, d := range cv.dcount[1:] {
+		if d < mn {
+			mn = d
+		}
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx - mn
+}
+
+// leastLoaded returns the cluster with the lowest DCOUNT among mask.
+func (cv *Conv) leastLoaded(mask uint32) int {
+	best := -1
+	bestD := math.Inf(1)
+	for c := range cv.dcount {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		if cv.dcount[c] < bestD {
+			best, bestD = c, cv.dcount[c]
+		}
+	}
+	return best
+}
+
+// Choose implements the Section 4.1 algorithm.
+func (cv *Conv) Choose(v View, req *Request) int {
+	n := v.NumClusters()
+	all := allMask(n)
+	// "If the workload imbalance is higher than the threshold: the least
+	// loaded cluster is chosen (that with lower DCOUNT value)."
+	if cv.Imbalance() > cv.cfg.Threshold {
+		return cv.leastLoaded(all)
+	}
+	var selected uint32
+	pending := uint32(0)
+	for i := 0; i < req.NumOps; i++ {
+		if req.Ops[i].Pending && req.Ops[i].Mask != 0 {
+			pending |= req.Ops[i].Mask
+		}
+	}
+	switch {
+	case pending != 0:
+		// "Cluster(s) where the pending operand(s) are to be produced
+		// are selected."
+		selected = pending
+	case req.NumOps > 0:
+		// "Cluster(s) that minimize the longest communication distance
+		// are selected."
+		bestCost := math.MaxInt
+		for c := 0; c < n; c++ {
+			cost := 0
+			for i := 0; i < req.NumOps; i++ {
+				m := req.Ops[i].Mask
+				if m == 0 {
+					m = all
+				}
+				if d := minDistTo(v, m, c); d > cost {
+					cost = d
+				}
+			}
+			switch {
+			case cost < bestCost:
+				bestCost = cost
+				selected = 1 << uint(c)
+			case cost == bestCost:
+				selected |= 1 << uint(c)
+			}
+		}
+	default:
+		// "If it has no source operands: all clusters are selected."
+		selected = all
+	}
+	// "The least loaded cluster among the selected clusters is chosen."
+	return cv.leastLoaded(selected)
+}
+
+// OnDispatch updates DCOUNT: the dispatched-to cluster gains relative to
+// every other cluster, keeping the counter sum at zero.
+func (cv *Conv) OnDispatch(c int) {
+	n := float64(len(cv.dcount))
+	for i := range cv.dcount {
+		if i == c {
+			cv.dcount[i] += n - 1
+		} else {
+			cv.dcount[i]--
+		}
+	}
+}
+
+// Tick decays the counters every DecayPeriod cycles so that ancient
+// history does not dominate the imbalance estimate.
+func (cv *Conv) Tick() {
+	cv.ticks++
+	if cv.ticks >= cv.cfg.DecayPeriod {
+		cv.ticks = 0
+		for i := range cv.dcount {
+			cv.dcount[i] *= cv.cfg.DecayFactor
+		}
+	}
+}
+
+// SSA is the simple steering algorithm of Section 4.7: an instruction goes
+// to the lowest-index cluster that stores (or will store) its leftmost
+// operand; instructions without register operands round-robin.
+type SSA struct {
+	n    int
+	next int
+}
+
+// NewSSA returns the simple policy for n clusters.
+func NewSSA(n int) *SSA {
+	if n < 1 {
+		panic(fmt.Sprintf("steering: %d clusters", n))
+	}
+	return &SSA{n: n}
+}
+
+// Name implements Algorithm.
+func (*SSA) Name() string { return "simple" }
+
+// Tick implements Algorithm.
+func (*SSA) Tick() {}
+
+// OnDispatch implements Algorithm (round-robin state advances in Choose so
+// that stalled re-choices stay stable; see Choose).
+func (*SSA) OnDispatch(int) {}
+
+// Choose implements the Section 4.7 algorithm.
+func (s *SSA) Choose(v View, req *Request) int {
+	if req.NumOps > 0 {
+		mask := req.Ops[0].Mask
+		if mask == 0 {
+			mask = allMask(s.n)
+		}
+		for c := 0; c < s.n; c++ {
+			if mask&(1<<uint(c)) != 0 {
+				return c
+			}
+		}
+	}
+	// Round-robin. Advancing here (rather than OnDispatch) keeps the
+	// paper's behaviour of cycling per steering decision; a stalled
+	// instruction re-chooses next cycle and may land elsewhere, which is
+	// what a rename-stage round-robin would do.
+	c := s.next
+	s.next++
+	if s.next >= s.n {
+		s.next = 0
+	}
+	return c
+}

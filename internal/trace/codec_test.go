@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// randInst produces a structurally valid random instruction.
+func randInst(r *rand.Rand, seq uint64) isa.Inst {
+	classes := []isa.Class{
+		isa.IntALU, isa.IntMult, isa.IntDiv, isa.FPAdd, isa.FPMult,
+		isa.FPDiv, isa.Load, isa.Store, isa.Branch,
+	}
+	in := isa.Inst{
+		Seq:   seq,
+		PC:    r.Uint64() &^ 3,
+		Class: classes[r.Intn(len(classes))],
+	}
+	kind := func() isa.RegFileKind {
+		if r.Intn(2) == 0 {
+			return isa.IntReg
+		}
+		return isa.FPReg
+	}
+	in.NumSrcs = uint8(r.Intn(3))
+	for i := uint8(0); i < in.NumSrcs; i++ {
+		in.Src[i] = isa.Reg{Kind: kind(), Idx: uint8(r.Intn(isa.NumArchRegs))}
+	}
+	switch in.Class {
+	case isa.Store:
+		in.NumSrcs = 2
+		in.Src[0] = isa.Reg{Kind: isa.IntReg, Idx: uint8(r.Intn(31))}
+		in.Src[1] = isa.Reg{Kind: kind(), Idx: uint8(r.Intn(31))}
+		in.EffAddr = r.Uint64()
+	case isa.Load:
+		in.EffAddr = r.Uint64()
+		in.HasDest = true
+		in.Dest = isa.Reg{Kind: kind(), Idx: uint8(r.Intn(31))}
+	case isa.Branch:
+		in.Taken = r.Intn(2) == 0
+		if in.Taken {
+			in.Target = r.Uint64() &^ 3
+		}
+	default:
+		in.HasDest = true
+		in.Dest = isa.Reg{Kind: kind(), Idx: uint8(r.Intn(31))}
+	}
+	return in
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	insts := make([]isa.Inst, 500)
+	for i := range insts {
+		insts[i] = randInst(r, uint64(i))
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if err := w.Write(&insts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 500 {
+		t.Fatalf("writer count %d", w.Count())
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if !reflect.DeepEqual(got[i], insts[i]) {
+			t.Fatalf("instruction %d: got %+v want %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+// TestCodecRoundTripProperty drives the codec with quick-generated seeds.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%32) + 1
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		orig := make([]isa.Inst, count)
+		for i := 0; i < count; i++ {
+			orig[i] = randInst(r, uint64(i))
+			if err := w.Write(&orig[i]); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(rd, 0)
+		if err != nil || len(got) != count {
+			return false
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX0123456789ab"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderRejectsBadVersion(t *testing.T) {
+	data := append([]byte(magic), 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := isa.Inst{Class: isa.IntALU, HasDest: true, Dest: isa.Reg{Idx: 1}}
+	w.Write(&in)
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3] // chop the record
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil || errors.Is(err, ErrEnd) {
+		t.Fatalf("truncated record: got %v, want decode error", err)
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	bad := isa.Inst{Class: isa.NumClasses}
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("invalid instruction written")
+	}
+}

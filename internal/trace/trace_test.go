@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mkInsts(n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		out[i] = isa.Inst{
+			Seq:     uint64(i),
+			PC:      0x1000 + uint64(i)*4,
+			Class:   isa.IntALU,
+			NumSrcs: 1,
+			Src:     [2]isa.Reg{{Idx: uint8(i % 20)}},
+			HasDest: true,
+			Dest:    isa.Reg{Idx: uint8((i + 1) % 20)},
+		}
+	}
+	return out
+}
+
+func TestSliceStream(t *testing.T) {
+	s := NewSlice(mkInsts(3))
+	for i := 0; i < 3; i++ {
+		in, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Seq != uint64(i) {
+			t.Fatalf("instruction %d has seq %d", i, in.Seq)
+		}
+	}
+	if _, err := s.Next(); !errors.Is(err, ErrEnd) {
+		t.Fatalf("expected ErrEnd, got %v", err)
+	}
+}
+
+func TestSliceReset(t *testing.T) {
+	s := NewSlice(mkInsts(2))
+	s.Next()
+	s.Next()
+	s.Reset()
+	in, err := s.Next()
+	if err != nil || in.Seq != 0 {
+		t.Fatalf("after reset: %v, %v", in.Seq, err)
+	}
+}
+
+func TestLimitTruncates(t *testing.T) {
+	l := NewLimit(NewSlice(mkInsts(10)), 4)
+	n := 0
+	for {
+		_, err := l.Next()
+		if errors.Is(err, ErrEnd) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("limit yielded %d instructions, want 4", n)
+	}
+}
+
+func TestLimitLongerThanStream(t *testing.T) {
+	l := NewLimit(NewSlice(mkInsts(3)), 10)
+	got, err := Collect(l, 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("collect: %d, %v", len(got), err)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	s := NewSlice(mkInsts(10))
+	n, err := Skip(s, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("skip: %d, %v", n, err)
+	}
+	in, _ := s.Next()
+	if in.Seq != 4 {
+		t.Fatalf("after skip, next seq = %d", in.Seq)
+	}
+}
+
+func TestSkipPastEnd(t *testing.T) {
+	s := NewSlice(mkInsts(3))
+	n, err := Skip(s, 10)
+	if err != nil || n != 3 {
+		t.Fatalf("skip past end: %d, %v", n, err)
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	got, err := Collect(NewSlice(mkInsts(10)), 5)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("collect with max: %d, %v", len(got), err)
+	}
+}
+
+func TestValidateCountsAndChecksOrder(t *testing.T) {
+	n, err := Validate(NewSlice(mkInsts(7)))
+	if err != nil || n != 7 {
+		t.Fatalf("validate: %d, %v", n, err)
+	}
+	bad := mkInsts(3)
+	bad[2].Seq = 1 // duplicate
+	if _, err := Validate(NewSlice(bad)); err == nil {
+		t.Fatal("non-increasing sequence accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// The profiles below imitate the 26 SPEC2000 programs used in the paper
+// (12 integer, 14 floating point). Parameters encode each program's
+// published character at the granularity the simulator is sensitive to:
+// instruction mix, dependence distance (ILP), reduction structure
+// (communication demand), branch predictability, loop shape and memory
+// footprint. Exact values are not claimed to match hardware-counter data;
+// they are chosen so the *suite-level* contrasts the paper relies on hold:
+// FP codes have longer dependence distances, more two-source FP work, far
+// fewer and more predictable branches, and bigger, more strided working
+// sets than integer codes.
+
+func intMix(alu, mul, load, store, branch float64) map[isa.Class]float64 {
+	return map[isa.Class]float64{
+		isa.IntALU:  alu,
+		isa.IntMult: mul,
+		isa.Load:    load,
+		isa.Store:   store,
+		isa.Branch:  branch,
+	}
+}
+
+func fpMix(alu, fpadd, fpmul, fpdiv, load, store, branch float64) map[isa.Class]float64 {
+	return map[isa.Class]float64{
+		isa.IntALU: alu,
+		isa.FPAdd:  fpadd,
+		isa.FPMult: fpmul,
+		isa.FPDiv:  fpdiv,
+		isa.Load:   load,
+		isa.Store:  store,
+		isa.Branch: branch,
+	}
+}
+
+// Profiles returns the full suite, integer programs first, in the
+// alphabetical order the paper's Figure 11 uses within each suite.
+func Profiles() []Profile {
+	seed := func(i int) uint64 { return 0x5EC2000 + uint64(i)*0x9E3779B9 }
+	i := 0
+	next := func() uint64 { i++; return seed(i) }
+
+	ps := []Profile{
+		// ---- SPECint2000 ----
+		{
+			// bzip2: compression; tight byte loops, moderate branches,
+			// medium working set with good locality.
+			Name: "bzip2", Class: ClassInt,
+			Mix:        intMix(0.50, 0.01, 0.24, 0.10, 0.15),
+			TwoSrcFrac: 0.45, ChainDistMean: 2.3, JoinDistMean: 4.6, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.10, AddrLiveInFrac: 0.6,
+			Loops: 10, BodyMean: 24, TripMean: 40,
+			UnbiasedBranchFrac: 0.22, WorkingSet: 1 << 20, StrideFrac: 0.70, Seed: next(),
+		},
+		{
+			// crafty: chess; branch-heavy, bit-twiddling ALU chains,
+			// small working set, many data-dependent branches.
+			Name: "crafty", Class: ClassInt,
+			Mix:        intMix(0.55, 0.02, 0.22, 0.06, 0.15),
+			TwoSrcFrac: 0.50, ChainDistMean: 2.1, JoinDistMean: 4.0, ZeroSrcFrac: 0.06,
+			LiveInFrac: 0.12, AddrLiveInFrac: 0.45,
+			Loops: 14, BodyMean: 16, TripMean: 12,
+			UnbiasedBranchFrac: 0.35, WorkingSet: 1 << 18, StrideFrac: 0.40, Seed: next(),
+		},
+		{
+			// eon: C++ ray tracer; the most FP-flavoured integer code,
+			// short predictable loops.
+			Name: "eon", Class: ClassInt,
+			Mix:        intMix(0.48, 0.04, 0.26, 0.11, 0.11),
+			TwoSrcFrac: 0.52, ChainDistMean: 2.5, JoinDistMean: 5.2, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.12, AddrLiveInFrac: 0.55,
+			Loops: 12, BodyMean: 20, TripMean: 18,
+			UnbiasedBranchFrac: 0.18, WorkingSet: 1 << 17, StrideFrac: 0.55, Seed: next(),
+		},
+		{
+			// gap: group theory; pointer chasing plus arithmetic,
+			// moderate predictability.
+			Name: "gap", Class: ClassInt,
+			Mix:        intMix(0.52, 0.03, 0.25, 0.08, 0.12),
+			TwoSrcFrac: 0.46, ChainDistMean: 2.3, JoinDistMean: 4.6, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.14, AddrLiveInFrac: 0.4,
+			Loops: 12, BodyMean: 18, TripMean: 25,
+			UnbiasedBranchFrac: 0.25, WorkingSet: 1 << 21, StrideFrac: 0.45, Seed: next(),
+		},
+		{
+			// gcc: compiler; large irregular footprint, branchy, low ILP.
+			Name: "gcc", Class: ClassInt,
+			Mix:        intMix(0.49, 0.01, 0.26, 0.10, 0.14),
+			TwoSrcFrac: 0.42, ChainDistMean: 2.0, JoinDistMean: 3.4, ZeroSrcFrac: 0.06,
+			LiveInFrac: 0.16, AddrLiveInFrac: 0.4,
+			Loops: 20, BodyMean: 14, TripMean: 8,
+			UnbiasedBranchFrac: 0.30, WorkingSet: 1 << 22, StrideFrac: 0.30, Seed: next(),
+		},
+		{
+			// gzip: compression; very tight loops, strided, predictable.
+			Name: "gzip", Class: ClassInt,
+			Mix:        intMix(0.53, 0.01, 0.23, 0.09, 0.14),
+			TwoSrcFrac: 0.44, ChainDistMean: 2.3, JoinDistMean: 4.6, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.10, AddrLiveInFrac: 0.65,
+			Loops: 8, BodyMean: 22, TripMean: 60,
+			UnbiasedBranchFrac: 0.20, WorkingSet: 1 << 19, StrideFrac: 0.75, Seed: next(),
+		},
+		{
+			// mcf: network simplex; pointer chasing over a huge working
+			// set, cache-miss bound, serial dependence chains.
+			Name: "mcf", Class: ClassInt,
+			Mix:        intMix(0.46, 0.01, 0.30, 0.07, 0.16),
+			TwoSrcFrac: 0.40, ChainDistMean: 1.7, JoinDistMean: 2.9, ZeroSrcFrac: 0.03,
+			LiveInFrac: 0.14, AddrLiveInFrac: 0.15,
+			Loops: 8, BodyMean: 16, TripMean: 30,
+			UnbiasedBranchFrac: 0.30, WorkingSet: 1 << 24, StrideFrac: 0.10, Seed: next(),
+		},
+		{
+			// parser: NL parsing; branchy, recursive, small-medium set.
+			Name: "parser", Class: ClassInt,
+			Mix:        intMix(0.50, 0.01, 0.26, 0.08, 0.15),
+			TwoSrcFrac: 0.43, ChainDistMean: 2.0, JoinDistMean: 3.4, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.15, AddrLiveInFrac: 0.3,
+			Loops: 16, BodyMean: 14, TripMean: 10,
+			UnbiasedBranchFrac: 0.32, WorkingSet: 1 << 21, StrideFrac: 0.25, Seed: next(),
+		},
+		{
+			// perlbmk: interpreter; dispatch loops, indirect-branch-like
+			// unpredictability, moderate footprint.
+			Name: "perlbmk", Class: ClassInt,
+			Mix:        intMix(0.51, 0.02, 0.25, 0.09, 0.13),
+			TwoSrcFrac: 0.44, ChainDistMean: 2.1, JoinDistMean: 3.7, ZeroSrcFrac: 0.06,
+			LiveInFrac: 0.15, AddrLiveInFrac: 0.35,
+			Loops: 18, BodyMean: 15, TripMean: 9,
+			UnbiasedBranchFrac: 0.33, WorkingSet: 1 << 21, StrideFrac: 0.30, Seed: next(),
+		},
+		{
+			// twolf: place & route; branchy with random-ish accesses.
+			Name: "twolf", Class: ClassInt,
+			Mix:        intMix(0.50, 0.03, 0.25, 0.07, 0.15),
+			TwoSrcFrac: 0.47, ChainDistMean: 2.1, JoinDistMean: 3.7, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.12, AddrLiveInFrac: 0.3,
+			Loops: 14, BodyMean: 15, TripMean: 12,
+			UnbiasedBranchFrac: 0.34, WorkingSet: 1 << 20, StrideFrac: 0.25, Seed: next(),
+		},
+		{
+			// vortex: OO database; call-heavy, predictable branches,
+			// large instruction footprint.
+			Name: "vortex", Class: ClassInt,
+			Mix:        intMix(0.50, 0.01, 0.27, 0.12, 0.10),
+			TwoSrcFrac: 0.42, ChainDistMean: 2.3, JoinDistMean: 4.0, ZeroSrcFrac: 0.06,
+			LiveInFrac: 0.16, AddrLiveInFrac: 0.45,
+			Loops: 22, BodyMean: 17, TripMean: 14,
+			UnbiasedBranchFrac: 0.15, WorkingSet: 1 << 22, StrideFrac: 0.40, Seed: next(),
+		},
+		{
+			// vpr: FPGA place & route; like twolf with more arithmetic.
+			Name: "vpr", Class: ClassInt,
+			Mix:        intMix(0.52, 0.04, 0.24, 0.07, 0.13),
+			TwoSrcFrac: 0.48, ChainDistMean: 2.2, JoinDistMean: 4.0, ZeroSrcFrac: 0.05,
+			LiveInFrac: 0.12, AddrLiveInFrac: 0.4,
+			Loops: 12, BodyMean: 16, TripMean: 15,
+			UnbiasedBranchFrac: 0.30, WorkingSet: 1 << 20, StrideFrac: 0.35, Seed: next(),
+		},
+
+		// ---- SPECfp2000 ----
+		{
+			// ammp: molecular dynamics; neighbour lists (some irregular),
+			// long FP chains with reductions.
+			Name: "ammp", Class: ClassFP,
+			Mix:        fpMix(0.22, 0.22, 0.18, 0.010, 0.26, 0.07, 0.04),
+			TwoSrcFrac: 0.66, ChainDistMean: 5.5, JoinDistMean: 4.5, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.08, AddrLiveInFrac: 0.55,
+			Loops: 8, BodyMean: 36, TripMean: 90,
+			UnbiasedBranchFrac: 0.10, WorkingSet: 1 << 22, StrideFrac: 0.55, Seed: next(),
+		},
+		{
+			// applu: PDE solver; wide unrolled stencils, very strided.
+			Name: "applu", Class: ClassFP,
+			Mix:        fpMix(0.18, 0.25, 0.21, 0.012, 0.26, 0.08, 0.02),
+			TwoSrcFrac: 0.72, ChainDistMean: 7.0, JoinDistMean: 5.5, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.06, AddrLiveInFrac: 0.9,
+			Loops: 6, BodyMean: 48, TripMean: 150,
+			UnbiasedBranchFrac: 0.05, WorkingSet: 1 << 23, StrideFrac: 0.90, Seed: next(),
+		},
+		{
+			// apsi: weather; mixed stencil/transcendental work.
+			Name: "apsi", Class: ClassFP,
+			Mix:        fpMix(0.22, 0.22, 0.18, 0.015, 0.26, 0.08, 0.03),
+			TwoSrcFrac: 0.66, ChainDistMean: 6.0, JoinDistMean: 5.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.08, AddrLiveInFrac: 0.8,
+			Loops: 9, BodyMean: 34, TripMean: 100,
+			UnbiasedBranchFrac: 0.07, WorkingSet: 1 << 22, StrideFrac: 0.80, Seed: next(),
+		},
+		{
+			// art: neural net; tiny kernel, huge miss rate (streams a
+			// large matrix), simple F32 MAC chains.
+			Name: "art", Class: ClassFP,
+			Mix:        fpMix(0.20, 0.24, 0.22, 0.002, 0.27, 0.04, 0.03),
+			TwoSrcFrac: 0.70, ChainDistMean: 5.0, JoinDistMean: 4.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.06, AddrLiveInFrac: 0.85,
+			Loops: 4, BodyMean: 22, TripMean: 300,
+			UnbiasedBranchFrac: 0.06, WorkingSet: 1 << 24, StrideFrac: 0.85, Seed: next(),
+		},
+		{
+			// equake: earthquake FEM; sparse matrix-vector, gathers.
+			Name: "equake", Class: ClassFP,
+			Mix:        fpMix(0.24, 0.22, 0.19, 0.008, 0.27, 0.05, 0.03),
+			TwoSrcFrac: 0.66, ChainDistMean: 5.0, JoinDistMean: 4.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.08, AddrLiveInFrac: 0.5,
+			Loops: 7, BodyMean: 28, TripMean: 120,
+			UnbiasedBranchFrac: 0.08, WorkingSet: 1 << 23, StrideFrac: 0.45, Seed: next(),
+		},
+		{
+			// facerec: face recognition; FFT-like kernels, strided.
+			Name: "facerec", Class: ClassFP,
+			Mix:        fpMix(0.22, 0.23, 0.20, 0.006, 0.25, 0.07, 0.03),
+			TwoSrcFrac: 0.68, ChainDistMean: 6.5, JoinDistMean: 5.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.07, AddrLiveInFrac: 0.8,
+			Loops: 8, BodyMean: 30, TripMean: 110,
+			UnbiasedBranchFrac: 0.07, WorkingSet: 1 << 22, StrideFrac: 0.75, Seed: next(),
+		},
+		{
+			// fma3d: crash simulation; element kernels with long bodies.
+			Name: "fma3d", Class: ClassFP,
+			Mix:        fpMix(0.22, 0.23, 0.19, 0.010, 0.26, 0.08, 0.03),
+			TwoSrcFrac: 0.68, ChainDistMean: 6.0, JoinDistMean: 5.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.08, AddrLiveInFrac: 0.7,
+			Loops: 10, BodyMean: 40, TripMean: 80,
+			UnbiasedBranchFrac: 0.08, WorkingSet: 1 << 23, StrideFrac: 0.65, Seed: next(),
+		},
+		{
+			// galgel: fluid dynamics; dense linear algebra, very regular.
+			Name: "galgel", Class: ClassFP,
+			Mix:        fpMix(0.18, 0.26, 0.22, 0.004, 0.25, 0.07, 0.02),
+			TwoSrcFrac: 0.74, ChainDistMean: 7.5, JoinDistMean: 6.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.05, AddrLiveInFrac: 0.9,
+			Loops: 6, BodyMean: 44, TripMean: 200,
+			UnbiasedBranchFrac: 0.04, WorkingSet: 1 << 22, StrideFrac: 0.90, Seed: next(),
+		},
+		{
+			// lucas: primality; FFT over a big array, long chains.
+			Name: "lucas", Class: ClassFP,
+			Mix:        fpMix(0.20, 0.25, 0.21, 0.002, 0.25, 0.07, 0.02),
+			TwoSrcFrac: 0.72, ChainDistMean: 7.0, JoinDistMean: 5.5, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.05, AddrLiveInFrac: 0.85,
+			Loops: 5, BodyMean: 40, TripMean: 250,
+			UnbiasedBranchFrac: 0.03, WorkingSet: 1 << 23, StrideFrac: 0.85, Seed: next(),
+		},
+		{
+			// mesa: software rendering; FP with more control than most
+			// FP codes — the FP program that behaves most like INT.
+			Name: "mesa", Class: ClassFP,
+			Mix:        fpMix(0.32, 0.18, 0.15, 0.008, 0.24, 0.05, 0.06),
+			TwoSrcFrac: 0.58, ChainDistMean: 4.0, JoinDistMean: 3.5, ZeroSrcFrac: 0.04,
+			LiveInFrac: 0.10, AddrLiveInFrac: 0.6,
+			Loops: 12, BodyMean: 24, TripMean: 40,
+			UnbiasedBranchFrac: 0.15, WorkingSet: 1 << 21, StrideFrac: 0.60, Seed: next(),
+		},
+		{
+			// mgrid: multigrid; 27-point stencils, extremely regular,
+			// the highest ILP in the suite.
+			Name: "mgrid", Class: ClassFP,
+			Mix:        fpMix(0.16, 0.28, 0.22, 0.001, 0.26, 0.06, 0.01),
+			TwoSrcFrac: 0.76, ChainDistMean: 8.0, JoinDistMean: 6.5, ZeroSrcFrac: 0.01,
+			LiveInFrac: 0.04, AddrLiveInFrac: 0.92,
+			Loops: 5, BodyMean: 52, TripMean: 300,
+			UnbiasedBranchFrac: 0.02, WorkingSet: 1 << 23, StrideFrac: 0.95, Seed: next(),
+		},
+		{
+			// sixtrack: particle tracking; long arithmetic bodies, small
+			// set that fits in cache.
+			Name: "sixtrack", Class: ClassFP,
+			Mix:        fpMix(0.22, 0.24, 0.21, 0.015, 0.23, 0.07, 0.02),
+			TwoSrcFrac: 0.70, ChainDistMean: 6.0, JoinDistMean: 5.0, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.06, AddrLiveInFrac: 0.8,
+			Loops: 7, BodyMean: 46, TripMean: 160,
+			UnbiasedBranchFrac: 0.04, WorkingSet: 1 << 19, StrideFrac: 0.80, Seed: next(),
+		},
+		{
+			// swim: shallow water; pure streaming stencils over a large
+			// grid, memory-bandwidth bound.
+			Name: "swim", Class: ClassFP,
+			Mix:        fpMix(0.16, 0.27, 0.22, 0.001, 0.27, 0.06, 0.01),
+			TwoSrcFrac: 0.74, ChainDistMean: 7.5, JoinDistMean: 6.0, ZeroSrcFrac: 0.01,
+			LiveInFrac: 0.04, AddrLiveInFrac: 0.92,
+			Loops: 4, BodyMean: 48, TripMean: 400,
+			UnbiasedBranchFrac: 0.02, WorkingSet: 1 << 24, StrideFrac: 0.95, Seed: next(),
+		},
+		{
+			// wupwise: lattice QCD; complex-arithmetic MACs, regular.
+			Name: "wupwise", Class: ClassFP,
+			Mix:        fpMix(0.19, 0.25, 0.23, 0.003, 0.24, 0.07, 0.02),
+			TwoSrcFrac: 0.72, ChainDistMean: 6.5, JoinDistMean: 5.5, ZeroSrcFrac: 0.02,
+			LiveInFrac: 0.05, AddrLiveInFrac: 0.85,
+			Loops: 6, BodyMean: 42, TripMean: 180,
+			UnbiasedBranchFrac: 0.03, WorkingSet: 1 << 22, StrideFrac: 0.85, Seed: next(),
+		},
+	}
+	return ps
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown program %q", name)
+}
+
+// Names returns all profile names, integer suite first.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// SuiteNames returns the names in the given class, sorted alphabetically.
+func SuiteNames(c ProgramClass) []string {
+	var out []string
+	for _, p := range Profiles() {
+		if p.Class == c {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,596 @@
+// Package workload generates deterministic synthetic instruction traces
+// that stand in for the SPEC2000 programs the paper evaluates.
+//
+// The paper's results depend on a handful of program characteristics, not on
+// exact Alpha instruction streams:
+//
+//   - dependence-distance distribution (controls ILP and, on a clustered
+//     machine, how often two operands of an instruction live in different
+//     clusters, i.e. communication demand);
+//   - instruction mix (integer vs FP work, loads/stores, branches);
+//   - branch predictability (controls front-end supply);
+//   - memory working set and locality (controls cache behaviour).
+//
+// Each SPEC2000 program is described by a Profile (see profiles.go). A
+// Generator expands a Profile into a static program skeleton — a sequence of
+// loops whose bodies are straight-line code with fixed register dependence
+// structure, conditional hammocks and memory access generators — and then
+// replays the skeleton dynamically, drawing loop trip counts, branch
+// outcomes and addresses from a seeded deterministic PRNG. Re-executing a
+// fixed skeleton gives the branch predictor and caches realistic, learnable
+// behaviour, while the static dependence structure gives precise control
+// over ILP and communication demand.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// ProgramClass labels a profile as part of the integer or FP suite.
+type ProgramClass uint8
+
+const (
+	// ClassInt marks SPECint2000-like profiles.
+	ClassInt ProgramClass = iota
+	// ClassFP marks SPECfp2000-like profiles.
+	ClassFP
+)
+
+// String returns "INT" or "FP".
+func (c ProgramClass) String() string {
+	if c == ClassInt {
+		return "INT"
+	}
+	return "FP"
+}
+
+// Profile parameterizes one synthetic program. All probabilities are in
+// [0, 1]; fractions over the instruction mix need not sum to one (they are
+// renormalized).
+type Profile struct {
+	// Name is the SPEC2000 program this profile imitates, e.g. "swim".
+	Name string
+	// Class is the suite the program belongs to.
+	Class ProgramClass
+
+	// Mix is the target dynamic instruction mix by class. Branch and
+	// loop-control instructions are added by the skeleton structure; the
+	// Branch entry here adds extra conditional hammocks.
+	Mix map[isa.Class]float64
+
+	// TwoSrcFrac is the probability that a computational instruction has
+	// two register sources rather than one. Two-source instructions whose
+	// operands come from different chains are what generate inter-cluster
+	// communications.
+	TwoSrcFrac float64
+
+	// ChainDistMean is the mean distance, in register-writing
+	// instructions, from a consumer to its first source — the chain it
+	// continues. Small values give serial chains.
+	ChainDistMean float64
+
+	// JoinDistMean is the mean distance to the second source of a
+	// two-source instruction — the chain it joins. Joins of *recent*
+	// values (diamonds, reduction trees) are the communication-critical
+	// pattern: on a clustered machine the joined value usually lives in
+	// another cluster and its transfer sits on the critical path.
+	JoinDistMean float64
+
+	// ZeroSrcFrac is the probability that a computational instruction has
+	// no register sources (immediate moves, constant materialization).
+	// These seed fresh dependence chains and, under the paper's steering,
+	// spread to the least-pressured cluster.
+	ZeroSrcFrac float64
+
+	// LiveInFrac is the probability that a computational source
+	// references a long-lived "live-in" register (loop invariants,
+	// stack/global pointers), readable from every cluster.
+	LiveInFrac float64
+
+	// AddrLiveInFrac is the probability that a load/store address reads a
+	// loop base register — an induction variable updated once per
+	// iteration — rather than an arbitrary computed value. Regular array
+	// code is high (base + scaled induction addressing); pointer-chasing
+	// code is low (the address is a loaded value). Induction updates are
+	// short integer chains, so on the ring machine they rotate around the
+	// clusters and drag the loop's memory instructions with them.
+	AddrLiveInFrac float64
+
+	// Loops is the number of distinct loops in the skeleton.
+	Loops int
+	// BodyMean is the mean loop body length in instructions.
+	BodyMean int
+	// TripMean is the mean loop trip count. High trip counts make the
+	// loop-closing branches highly predictable.
+	TripMean float64
+
+	// UnbiasedBranchFrac is the fraction of conditional hammock branches
+	// whose outcome is close to random (data-dependent, hard to predict).
+	// The rest are heavily biased and easy to predict.
+	UnbiasedBranchFrac float64
+
+	// WorkingSet is the approximate data footprint in bytes. Address
+	// generators confine their accesses to this region.
+	WorkingSet uint64
+	// StrideFrac is the fraction of static memory instructions that
+	// access memory with a regular stride (the rest access uniformly at
+	// random within the working set).
+	StrideFrac float64
+
+	// Seed separates this program's random stream from all others.
+	Seed uint64
+}
+
+// Validate reports the first structural problem with the profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile with empty name")
+	}
+	if len(p.Mix) == 0 {
+		return fmt.Errorf("workload: profile %s has empty mix", p.Name)
+	}
+	var total float64
+	for c, w := range p.Mix {
+		if !c.Valid() {
+			return fmt.Errorf("workload: profile %s: invalid class in mix", p.Name)
+		}
+		if w < 0 {
+			return fmt.Errorf("workload: profile %s: negative mix weight for %v", p.Name, c)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: profile %s: mix sums to zero", p.Name)
+	}
+	if p.Loops <= 0 || p.BodyMean <= 2 || p.TripMean < 1 {
+		return fmt.Errorf("workload: profile %s: degenerate loop structure", p.Name)
+	}
+	if p.ChainDistMean <= 0 || p.JoinDistMean <= 0 {
+		return fmt.Errorf("workload: profile %s: non-positive dependence distance", p.Name)
+	}
+	if p.WorkingSet == 0 {
+		return fmt.Errorf("workload: profile %s: zero working set", p.Name)
+	}
+	return nil
+}
+
+// branchKind distinguishes the control instructions in a skeleton.
+type branchKind uint8
+
+const (
+	branchNone branchKind = iota
+	branchLoop            // loop-closing backward branch
+	branchCond            // conditional hammock: taken skips Skip instructions
+)
+
+// staticInst is one instruction slot in the program skeleton.
+type staticInst struct {
+	class   isa.Class
+	numSrcs uint8
+	src     [2]isa.Reg
+	hasDest bool
+	dest    isa.Reg
+
+	// memory instructions
+	addrGen int // index into Generator.addrGens, or -1
+
+	// branches
+	brKind branchKind
+	bias   float64 // P(taken) for branchCond
+	skip   int     // instructions skipped when a hammock branch is taken
+}
+
+// loop is one loop in the skeleton: a body and a trip-count distribution.
+type loop struct {
+	body     []staticInst
+	tripMean float64
+	startPC  uint64
+}
+
+// addrGen produces effective addresses for one static memory instruction.
+type addrGen struct {
+	base   uint64
+	window uint64 // power of two
+	stride uint64 // 0 => uniform random within window
+	pos    uint64
+}
+
+func (g *addrGen) next(r *rng.Source) uint64 {
+	if g.stride == 0 {
+		return g.base + (r.Uint64() & (g.window - 1))
+	}
+	a := g.base + (g.pos & (g.window - 1))
+	g.pos += g.stride
+	return a
+}
+
+// Generator expands a Profile into a dynamic instruction stream. It
+// implements trace.Stream. Not safe for concurrent use.
+type Generator struct {
+	prof     Profile
+	r        *rng.Source
+	loops    []loop
+	addrGens []addrGen
+
+	// dynamic replay state
+	loopIdx   int
+	bodyPos   int
+	tripsLeft int
+	seq       uint64
+}
+
+var _ trace.Stream = (*Generator)(nil)
+
+// NewGenerator builds the static skeleton for prof and returns a stream
+// over its dynamic execution. The stream is infinite; wrap it with
+// trace.NewLimit to bound it. An invalid profile returns an error.
+func NewGenerator(prof Profile) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		prof: prof,
+		r:    rng.New(prof.Seed ^ 0xabe11a_2005),
+	}
+	g.buildSkeleton()
+	g.resetDynamic()
+	return g, nil
+}
+
+// roundPow2 rounds v up to a power of two (minimum 64).
+func roundPow2(v uint64) uint64 {
+	p := uint64(64)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// liveInRegs are the long-lived registers sources may reference (stack and
+// global pointers, loop bounds). They are conceptually written once before
+// the measured region and never redefined.
+var liveInRegsInt = []uint8{1, 2, 3, 4, 5}
+var liveInRegsFP = []uint8{1, 2, 3, 4, 5}
+
+// firstIndReg is the first of the integer registers reserved for loop
+// induction variables (firstIndReg..ZeroReg-1). Each loop updates its
+// induction registers once per iteration; memory instructions address
+// through them.
+const firstIndReg = 26
+
+// buildSkeleton constructs the static loops of the program.
+func (g *Generator) buildSkeleton() {
+	p := &g.prof
+
+	// Normalize the computational mix (branches handled structurally,
+	// loads/stores kept as-is).
+	classes := make([]isa.Class, 0, len(p.Mix))
+	weights := make([]float64, 0, len(p.Mix))
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if w, ok := p.Mix[c]; ok && w > 0 {
+			classes = append(classes, c)
+			weights = append(weights, w)
+		}
+	}
+
+	// Writer history per namespace: the dest registers of the most recent
+	// register-writing static instructions, newest last. Register
+	// allocation is round-robin over the architectural file, skipping the
+	// zero register and the live-in registers.
+	type writers struct {
+		hist []isa.Reg
+		next uint8
+	}
+	// Integer registers 26..30 are reserved for loop induction variables
+	// (indRegs); 1..5 are live-ins; the round-robin destination allocator
+	// cycles over the rest.
+	alloc := func(w *writers, kind isa.RegFileKind) isa.Reg {
+		for {
+			idx := w.next
+			w.next++
+			if w.next >= firstIndReg && kind == isa.IntReg {
+				w.next = 0
+			} else if w.next >= isa.ZeroReg {
+				w.next = 0
+			}
+			skip := false
+			for _, li := range liveInRegsInt {
+				if idx == li {
+					skip = true
+				}
+			}
+			if !skip {
+				reg := isa.Reg{Kind: kind, Idx: idx}
+				w.hist = append(w.hist, reg)
+				if len(w.hist) > 27 {
+					w.hist = w.hist[1:]
+				}
+				return reg
+			}
+		}
+	}
+	var intW, fpW writers
+	intW.next = 6
+	fpW.next = 6
+
+	// liveIn returns a random long-lived register of the namespace.
+	liveIn := func(kind isa.RegFileKind) isa.Reg {
+		if kind == isa.IntReg {
+			return isa.Reg{Kind: kind, Idx: liveInRegsInt[g.r.Intn(len(liveInRegsInt))]}
+		}
+		return isa.Reg{Kind: kind, Idx: liveInRegsFP[g.r.Intn(len(liveInRegsFP))]}
+	}
+
+	// pickSrc selects a source register at a geometric static distance
+	// with the given mean (in register-writing instructions), falling
+	// back to a live-in when the writer history is empty or with
+	// probability liveInP.
+	pickSrc := func(kind isa.RegFileKind, mean, liveInP float64) isa.Reg {
+		var w *writers
+		if kind == isa.IntReg {
+			w = &intW
+		} else {
+			w = &fpW
+		}
+		if len(w.hist) == 0 || g.r.Bool(liveInP) {
+			return liveIn(kind)
+		}
+		// Geometric with the requested mean; distance 1 = most recent.
+		prob := 1 / mean
+		if prob > 1 {
+			prob = 1
+		}
+		d := 1 + g.r.Geometric(prob)
+		if d > len(w.hist) {
+			d = len(w.hist)
+		}
+		return w.hist[len(w.hist)-d]
+	}
+
+	window := roundPow2(p.WorkingSet)
+	nextBase := uint64(0x10000000)
+
+	pc := uint64(0x400000)
+	g.loops = make([]loop, 0, p.Loops)
+	for li := 0; li < p.Loops; li++ {
+		bodyLen := p.BodyMean/2 + g.r.Intn(p.BodyMean) // mean ~= BodyMean
+		if bodyLen < 3 {
+			bodyLen = 3
+		}
+		body := make([]staticInst, 0, bodyLen+4)
+		startPC := pc
+
+		// Induction variables: updated once at the top of every
+		// iteration (i = i + stride). The updates are 1-cycle integer
+		// self-chains; memory instructions that use base+induction
+		// addressing read them, so on the ring machine the loop's
+		// memory traffic follows the induction chains around the ring.
+		nInd := 2 + g.r.Intn(3)
+		indRegs := make([]isa.Reg, nInd)
+		for k := 0; k < nInd; k++ {
+			reg := isa.Reg{Kind: isa.IntReg, Idx: uint8(firstIndReg + k)}
+			indRegs[k] = reg
+			upd := staticInst{
+				class:   isa.IntALU,
+				numSrcs: 1,
+				hasDest: true,
+				dest:    reg,
+				addrGen: -1,
+			}
+			upd.src[0] = reg // i = i + stride: serial loop-carried chain
+			body = append(body, upd)
+			pc += 4
+		}
+
+		for bi := 0; bi < bodyLen; bi++ {
+			var si staticInst
+			si.addrGen = -1
+			c := classes[g.r.Pick(weights)]
+			si.class = c
+			// pickAddr models address formation: regular array code
+			// addresses through a loop base register (induction
+			// variable); the rest chain on computed values (pointer
+			// chasing).
+			pickAddr := func() isa.Reg {
+				if g.r.Bool(p.AddrLiveInFrac) {
+					return indRegs[g.r.Intn(nInd)]
+				}
+				return pickSrc(isa.IntReg, p.ChainDistMean, 0)
+			}
+			switch {
+			case c == isa.Load:
+				si.numSrcs = 1
+				si.src[0] = pickAddr()
+				si.hasDest = true
+				kind := isa.IntReg
+				if p.Class == ClassFP && g.r.Bool(0.75) {
+					kind = isa.FPReg
+				}
+				if kind == isa.IntReg {
+					si.dest = alloc(&intW, isa.IntReg)
+				} else {
+					si.dest = alloc(&fpW, isa.FPReg)
+				}
+				si.addrGen = g.newAddrGen(&nextBase, window)
+			case c == isa.Store:
+				// Address register plus data register; the data is the
+				// end of a computation chain.
+				si.numSrcs = 2
+				si.src[0] = pickAddr()
+				kind := isa.IntReg
+				if p.Class == ClassFP && g.r.Bool(0.75) {
+					kind = isa.FPReg
+				}
+				si.src[1] = pickSrc(kind, p.ChainDistMean, 0)
+				si.addrGen = g.newAddrGen(&nextBase, window)
+			case c == isa.Branch:
+				// Conditional hammock inside the body.
+				si.numSrcs = 1
+				si.src[0] = pickSrc(isa.IntReg, p.ChainDistMean, p.LiveInFrac)
+				si.brKind = branchCond
+				si.skip = 1 + g.r.Intn(3)
+				if g.r.Bool(p.UnbiasedBranchFrac) {
+					si.bias = 0.35 + 0.3*g.r.Float64() // ~coin flip
+				} else if g.r.Bool(0.5) {
+					si.bias = 0.02 + 0.08*g.r.Float64() // rarely taken
+				} else {
+					si.bias = 0.90 + 0.08*g.r.Float64() // almost always taken
+				}
+			default:
+				// Computational instruction: continues a chain with its
+				// first source and, when two-source, joins a (usually
+				// recent) second chain — the diamond pattern that makes
+				// communication latency critical on clustered machines.
+				kind := isa.IntReg
+				if c.IsFP() {
+					kind = isa.FPReg
+				}
+				if g.r.Bool(p.ZeroSrcFrac) {
+					si.numSrcs = 0
+				} else {
+					si.numSrcs = 1
+					if g.r.Bool(p.TwoSrcFrac) {
+						si.numSrcs = 2
+					}
+					si.src[0] = pickSrc(kind, p.ChainDistMean, p.LiveInFrac)
+					if si.numSrcs == 2 {
+						si.src[1] = pickSrc(kind, p.JoinDistMean, p.LiveInFrac)
+					}
+				}
+				si.hasDest = true
+				if kind == isa.IntReg {
+					si.dest = alloc(&intW, isa.IntReg)
+				} else {
+					si.dest = alloc(&fpW, isa.FPReg)
+				}
+			}
+			body = append(body, si)
+			pc += 4
+		}
+		// Loop-closing backward branch: compares an induction value.
+		closing := staticInst{
+			class:   isa.Branch,
+			numSrcs: 1,
+			addrGen: -1,
+			brKind:  branchLoop,
+		}
+		// The loop condition tests an induction variable.
+		closing.src[0] = indRegs[g.r.Intn(nInd)]
+		body = append(body, closing)
+		pc += 4
+		tm := p.TripMean * (0.5 + g.r.Float64())
+		if tm < 2 {
+			tm = 2
+		}
+		g.loops = append(g.loops, loop{body: body, tripMean: tm, startPC: startPC})
+		pc += 64 // gap between loops
+	}
+}
+
+// newAddrGen registers an address generator and returns its index.
+func (g *Generator) newAddrGen(nextBase *uint64, window uint64) int {
+	ag := addrGen{base: *nextBase, window: window}
+	*nextBase += window + 4096
+	if g.r.Bool(g.prof.StrideFrac) {
+		strides := []uint64{4, 8, 8, 16, 32, 64}
+		ag.stride = strides[g.r.Intn(len(strides))]
+	}
+	// Start strided streams at a random phase so loops do not all march
+	// in lockstep.
+	ag.pos = g.r.Uint64() & (window - 1)
+	g.addrGens = append(g.addrGens, ag)
+	return len(g.addrGens) - 1
+}
+
+// resetDynamic rewinds the dynamic replay to program start.
+func (g *Generator) resetDynamic() {
+	g.loopIdx = 0
+	g.bodyPos = 0
+	g.tripsLeft = g.drawTrips(0)
+}
+
+func (g *Generator) drawTrips(loopIdx int) int {
+	m := g.loops[loopIdx].tripMean
+	t := 1 + g.r.Geometric(1/m)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Next implements trace.Stream. The stream never ends.
+func (g *Generator) Next() (isa.Inst, error) {
+	lp := &g.loops[g.loopIdx]
+	si := &lp.body[g.bodyPos]
+
+	var in isa.Inst
+	in.Seq = g.seq
+	g.seq++
+	in.PC = lp.startPC + uint64(g.bodyPos)*4
+	in.Class = si.class
+	in.NumSrcs = si.numSrcs
+	in.Src = si.src
+	in.HasDest = si.hasDest
+	in.Dest = si.dest
+	if si.addrGen >= 0 {
+		in.EffAddr = g.addrGens[si.addrGen].next(g.r)
+	}
+
+	advance := 1
+	switch si.brKind {
+	case branchLoop:
+		if g.tripsLeft > 1 {
+			g.tripsLeft--
+			in.Taken = true
+			in.Target = lp.startPC
+			g.bodyPos = 0
+			advance = 0
+		} else {
+			in.Taken = false
+			// Move to next loop.
+			g.loopIdx++
+			if g.loopIdx >= len(g.loops) {
+				g.loopIdx = 0
+			}
+			g.tripsLeft = g.drawTrips(g.loopIdx)
+			g.bodyPos = 0
+			advance = 0
+		}
+	case branchCond:
+		in.Taken = g.r.Bool(si.bias)
+		if in.Taken {
+			advance += si.skip
+			in.Target = in.PC + 4 + uint64(si.skip)*4
+		}
+	}
+	if advance > 0 {
+		g.bodyPos += advance
+		if g.bodyPos >= len(lp.body) {
+			// Hammock skipped past the loop branch: treat as loop exit
+			// fallthrough into the next loop.
+			g.loopIdx++
+			if g.loopIdx >= len(g.loops) {
+				g.loopIdx = 0
+			}
+			g.tripsLeft = g.drawTrips(g.loopIdx)
+			g.bodyPos = 0
+		}
+	}
+	return in, nil
+}
+
+// StaticSize returns the number of static instructions in the skeleton.
+func (g *Generator) StaticSize() int {
+	n := 0
+	for i := range g.loops {
+		n += len(g.loops[i].body)
+	}
+	return n
+}
+
+// Profile returns a copy of the profile the generator was built from.
+func (g *Generator) Profile() Profile { return g.prof }
