@@ -5,10 +5,15 @@
 //
 //	ringsim [-arch ring|conv] [-clusters 4|8] [-iw 1|2] [-buses 1|2]
 //	        [-hop N] [-steer enhanced|ssa] [-insts N] [-warmup N]
-//	        [-progs name,name,...|all|int|fp] [-v]
+//	        [-progs name,name,...|all|int|fp] [-v] [-json]
+//
+// With -json, output is the internal/results encoding: one JSON array of
+// result records, each carrying the same content-hash key ringsimd uses,
+// so CLI runs and service cache entries are directly comparable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/results"
 	"repro/internal/workload"
 )
 
@@ -30,6 +36,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 50_000, "warm-up instructions (not measured)")
 	progs := flag.String("progs", "all", "programs: comma list, or all/int/fp")
 	verbose := flag.Bool("v", false, "print extra statistics")
+	asJSON := flag.Bool("json", false, "emit results as JSON (internal/results encoding)")
 	flag.Parse()
 
 	archKind := core.ArchRing
@@ -49,6 +56,9 @@ func main() {
 	}
 	if strings.EqualFold(*steer, "ssa") {
 		cfg = cfg.WithSteer(core.SteerSimple)
+	} else if !strings.EqualFold(*steer, "enhanced") {
+		fmt.Fprintf(os.Stderr, "ringsim: unknown steering %q\n", *steer)
+		os.Exit(2)
 	}
 
 	var names []string
@@ -63,14 +73,21 @@ func main() {
 		names = strings.Split(*progs, ",")
 	}
 
-	fmt.Printf("configuration: %s\n", cfg.Name)
-	fmt.Printf("%-10s %7s %8s %7s %7s %8s %8s\n",
-		"program", "IPC", "comms/i", "dist", "wait", "NREADY", "mispred")
 	res, err := harness.Grid([]core.Config{cfg}, names, *insts, *warmup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringsim:", err)
 		os.Exit(1)
 	}
+	if *asJSON {
+		if err := emitJSON(cfg, names, *insts, *warmup, res); err != nil {
+			fmt.Fprintln(os.Stderr, "ringsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("configuration: %s\n", cfg.Name)
+	fmt.Printf("%-10s %7s %8s %7s %7s %8s %8s\n",
+		"program", "IPC", "comms/i", "dist", "wait", "NREADY", "mispred")
 	for _, p := range names {
 		r := res[harness.Key{Config: cfg.Name, Program: p}]
 		st := r.Stats
@@ -88,4 +105,22 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// emitJSON renders the run set as internal/results records, in program
+// order, on stdout.
+func emitJSON(cfg core.Config, names []string, insts, warmup uint64, res map[harness.Key]harness.Run) error {
+	reqs := harness.Expand([]core.Config{cfg}, names, insts, warmup)
+	out := make([]results.Result, 0, len(reqs))
+	for _, req := range reqs {
+		run := res[harness.Key{Config: req.Config.Name, Program: req.Program}]
+		rec, err := results.FromRun(req, run)
+		if err != nil {
+			return err
+		}
+		out = append(out, rec)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -1,0 +1,86 @@
+// Command ringsimd serves the ring-cluster simulator over HTTP: a
+// bounded job queue, a worker pool of simulations, and a
+// content-addressed result cache so no (config, program, insts, warmup)
+// tuple is ever simulated twice.
+//
+// Usage:
+//
+//	ringsimd [-addr :8080] [-workers N] [-queue N]
+//	         [-cache-dir DIR] [-mem-entries N]
+//
+// With -cache-dir the cache is tiered: an in-memory LRU in front of an
+// on-disk content-addressed store that survives restarts. Without it,
+// results live only in the LRU.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/results"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	queue := flag.Int("queue", 256, "job queue depth (single runs beyond it get 503; sweeps of any size trickle through)")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
+	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
+	flag.Parse()
+
+	store, desc, err := buildStore(*cacheDir, *memEntries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsimd:", err)
+		os.Exit(2)
+	}
+	srv, err := server.New(server.Options{Workers: *workers, QueueDepth: *queue, Store: store})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsimd:", err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	log.Printf("ringsimd: listening on %s (%d workers, queue %d, cache %s)",
+		*addr, *workers, *queue, desc)
+	select {
+	case <-ctx.Done():
+		// Drain gracefully: stop the listener, then let queued and
+		// in-flight simulations finish so their results reach the cache.
+		log.Printf("ringsimd: shutting down, draining in-flight simulations")
+		_ = hs.Shutdown(context.Background())
+		srv.Close()
+	case err := <-errc:
+		srv.Close()
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("ringsimd: ", err)
+		}
+	}
+}
+
+// buildStore assembles the result cache from the flags.
+func buildStore(dir string, memEntries int) (results.Store, string, error) {
+	mem := results.NewMemoryLRU(memEntries)
+	if dir == "" {
+		return mem, fmt.Sprintf("memory LRU (%d entries)", memEntries), nil
+	}
+	disk, err := results.NewDisk(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("memory LRU (%d entries) over disk %s", memEntries, disk.Dir())
+	return results.NewTiered(mem, disk), desc, nil
+}

@@ -91,17 +91,27 @@ func runUntilCommitted(m *core.Machine, n uint64) error {
 	return nil
 }
 
-// Grid runs every (config, program) pair across a worker pool and returns
-// results keyed by configuration name and program. The order of workers is
-// nondeterministic but each simulation is fully deterministic, so the
-// result set is reproducible.
-func Grid(configs []core.Config, programs []string, insts, warmup uint64) (map[Key]Run, error) {
+// Expand turns a (configuration × program) grid into the flat request
+// list Grid executes, in configuration-major order. It is the single
+// definition of grid semantics: the CLI tools and the ringsimd sweep API
+// both expand through here, so a sweep submitted over HTTP names exactly
+// the same simulations as the equivalent local Grid call.
+func Expand(configs []core.Config, programs []string, insts, warmup uint64) []Request {
 	reqs := make([]Request, 0, len(configs)*len(programs))
 	for _, cfg := range configs {
 		for _, p := range programs {
 			reqs = append(reqs, Request{Config: cfg, Program: p, Insts: insts, Warmup: warmup})
 		}
 	}
+	return reqs
+}
+
+// Grid runs every (config, program) pair across a worker pool and returns
+// results keyed by configuration name and program. The order of workers is
+// nondeterministic but each simulation is fully deterministic, so the
+// result set is reproducible.
+func Grid(configs []core.Config, programs []string, insts, warmup uint64) (map[Key]Run, error) {
+	reqs := Expand(configs, programs, insts, warmup)
 	results := make([]Run, len(reqs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))

@@ -1,0 +1,190 @@
+// Package results defines the durable form of a simulation run: a
+// canonical JSON encoding of the request (stable across Go versions and
+// struct-field ordering), a SHA-256 content hash derived from it, and the
+// serializable result record keyed by that hash.
+//
+// The content hash is the system's unit of deduplication: any
+// (config, program, insts, warmup) tuple — the per-program workload seed
+// is part of the named profile, so the tuple pins the instruction stream
+// exactly — simulated once under a given schema version never needs to be
+// simulated again. The CLI's -json output, the on-disk cache layout, and
+// the ringsimd HTTP API all speak this one encoding.
+package results
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// SchemaVersion is folded into every content hash. Bump it when the
+// meaning of an existing field changes in a way that invalidates cached
+// results without changing the encoded bytes (e.g. a simulator timing
+// fix). Purely structural changes — adding, renaming, reordering fields —
+// already change the hash on their own.
+const SchemaVersion = 1
+
+// Request mirrors harness.Request in wire form. Field names are the
+// public schema; the golden hash test pins them.
+type Request struct {
+	Schema  int         `json:"schema"`
+	Config  core.Config `json:"config"`
+	Program string      `json:"program"`
+	Insts   uint64      `json:"insts"`
+	Warmup  uint64      `json:"warmup"`
+}
+
+// NewRequest wraps a harness request in its wire form.
+func NewRequest(req harness.Request) Request {
+	return Request{
+		Schema:  SchemaVersion,
+		Config:  req.Config,
+		Program: req.Program,
+		Insts:   req.Insts,
+		Warmup:  req.Warmup,
+	}
+}
+
+// Harness converts the wire form back into an executable request.
+func (r Request) Harness() harness.Request {
+	return harness.Request{
+		Config:  r.Config,
+		Program: r.Program,
+		Insts:   r.Insts,
+		Warmup:  r.Warmup,
+	}
+}
+
+// Canonical returns the canonical JSON encoding of the request: object
+// keys sorted lexicographically at every nesting level, no insignificant
+// whitespace, numbers kept verbatim. Two requests have equal canonical
+// bytes iff they describe the same simulation.
+func (r Request) Canonical() ([]byte, error) {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("results: encode request: %w", err)
+	}
+	return canonicalize(raw)
+}
+
+// Key returns the SHA-256 content hash (lowercase hex) of the canonical
+// encoding. It is the run's identity everywhere: cache filename, HTTP run
+// id, and dedup key.
+func (r Request) Key() (string, error) {
+	b, err := r.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalize re-emits JSON with object keys sorted at every level.
+// json.Number preserves integers above 2^53 exactly.
+func canonicalize(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("results: canonicalize: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, t[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case json.Number:
+		buf.WriteString(t.String())
+	default:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	return nil
+}
+
+// Result is the serializable outcome of one run, self-describing enough
+// to rebuild a harness.Run (minus the full Config, which the key pins).
+type Result struct {
+	// Key is the content hash of the request that produced this result.
+	Key string `json:"key"`
+	// Config is the configuration name (e.g. "Ring_8clus_1bus_2IW").
+	Config string `json:"config"`
+	// Program is the workload profile name.
+	Program string `json:"program"`
+	// Class is the program's suite class ("INT" or "FP").
+	Class string `json:"class"`
+	// Stats holds every counter the run measured.
+	Stats core.Stats `json:"stats"`
+	// Err is the simulation error, empty on success.
+	Err string `json:"error,omitempty"`
+}
+
+// FromRun converts an executed run into its durable record. The key is
+// recomputed from the originating request so record and cache can never
+// disagree about identity.
+func FromRun(req harness.Request, run harness.Run) (Result, error) {
+	key, err := NewRequest(req).Key()
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Key:     key,
+		Config:  run.Config.Name,
+		Program: run.Program,
+		Class:   run.Class.String(),
+		Stats:   run.Stats,
+	}
+	if run.Err != nil {
+		out.Err = run.Err.Error()
+	}
+	return out, nil
+}
+
+// Failed reports whether the recorded run ended in error.
+func (r Result) Failed() bool { return r.Err != "" }

@@ -1,0 +1,202 @@
+package results
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a content-addressed result cache. Keys are the SHA-256 hex
+// strings Request.Key produces. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Get returns the result for key and whether it was present.
+	Get(key string) (Result, bool, error)
+	// Put records the result for key. Overwriting an existing entry with
+	// an identical result is a no-op; stores never need compare-and-swap
+	// because a key fully determines its value.
+	Put(key string, r Result) error
+}
+
+// MemoryLRU is an in-memory Store bounded to a fixed number of entries,
+// evicting least-recently-used (Get counts as use).
+type MemoryLRU struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res Result
+}
+
+// NewMemoryLRU returns an LRU store holding at most capacity entries.
+// capacity must be positive.
+func NewMemoryLRU(capacity int) *MemoryLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MemoryLRU{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get implements Store.
+func (s *MemoryLRU) Get(key string) (Result, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return Result{}, false, nil
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true, nil
+}
+
+// Put implements Store.
+func (s *MemoryLRU) Put(key string, r Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*lruEntry).res = r
+		s.order.MoveToFront(el)
+		return nil
+	}
+	s.entries[key] = s.order.PushFront(&lruEntry{key: key, res: r})
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*lruEntry).key)
+	}
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (s *MemoryLRU) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Disk is an on-disk content-addressed Store. Entry layout is
+// <dir>/<key[:2]>/<key>.json — the two-hex-digit fan-out keeps directory
+// sizes flat at millions of entries. Writes go through a temp file and
+// rename, so readers never observe a torn entry.
+type Disk struct {
+	dir string
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: open disk store: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Disk) Dir() string { return s.dir }
+
+func (s *Disk) path(key string) (string, error) {
+	if len(key) < 3 {
+		return "", fmt.Errorf("results: malformed key %q", key)
+	}
+	return filepath.Join(s.dir, key[:2], key+".json"), nil
+}
+
+// Get implements Store.
+func (s *Disk) Get(key string) (Result, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return Result{}, false, err
+	}
+	b, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return Result{}, false, nil
+	}
+	if err != nil {
+		return Result{}, false, fmt.Errorf("results: read %s: %w", key, err)
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Result{}, false, fmt.Errorf("results: decode %s: %w", key, err)
+	}
+	return r, true, nil
+}
+
+// Put implements Store.
+func (s *Disk) Put(key string, r Result) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("results: put %s: %w", key, err)
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("results: put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Tiered layers a fast front store over a durable back store: Get checks
+// front first and promotes back-store hits; Put writes through to both.
+type Tiered struct {
+	front Store
+	back  Store
+}
+
+// NewTiered combines front (typically MemoryLRU) and back (typically
+// Disk).
+func NewTiered(front, back Store) *Tiered {
+	return &Tiered{front: front, back: back}
+}
+
+// Get implements Store.
+func (s *Tiered) Get(key string) (Result, bool, error) {
+	if r, ok, err := s.front.Get(key); err != nil || ok {
+		return r, ok, err
+	}
+	r, ok, err := s.back.Get(key)
+	if err != nil || !ok {
+		return Result{}, false, err
+	}
+	if err := s.front.Put(key, r); err != nil {
+		return Result{}, false, err
+	}
+	return r, true, nil
+}
+
+// Put implements Store.
+func (s *Tiered) Put(key string, r Result) error {
+	if err := s.back.Put(key, r); err != nil {
+		return err
+	}
+	return s.front.Put(key, r)
+}

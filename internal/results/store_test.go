@@ -1,0 +1,155 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeResult builds a distinguishable result for store tests. Keys must
+// be ≥ 3 characters for the disk layout, so tests use full-width fakes.
+func fakeResult(i int) (string, Result) {
+	key := fmt.Sprintf("%064d", i)
+	return key, Result{Key: key, Config: "Ring_8clus_1bus_2IW", Program: fmt.Sprintf("prog%d", i)}
+}
+
+func TestMemoryLRUEvictsOldest(t *testing.T) {
+	s := NewMemoryLRU(2)
+	k0, r0 := fakeResult(0)
+	k1, r1 := fakeResult(1)
+	k2, r2 := fakeResult(2)
+	for k, r := range map[string]Result{k0: r0, k1: r1} {
+		if err := s.Put(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok, _ := s.Get(k0); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := s.Put(k2, r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(k1); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	if _, ok, _ := s.Get(k0); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, ok, _ := s.Get(k2); !ok {
+		t.Error("new entry missing")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", s.Len())
+	}
+}
+
+func TestMemoryLRUOverwrite(t *testing.T) {
+	s := NewMemoryLRU(4)
+	k, r := fakeResult(7)
+	if err := s.Put(k, r); err != nil {
+		t.Fatal(err)
+	}
+	r.Program = "updated"
+	if err := s.Put(k, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if got.Program != "updated" {
+		t.Errorf("overwrite lost: %q", got.Program)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d after overwrite, want 1", s.Len())
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, r := fakeResult(42)
+	r.Stats.Cycles = 123
+	if _, ok, err := s.Get(k); err != nil || ok {
+		t.Fatalf("empty store Get = %v, %v", ok, err)
+	}
+	if err := s.Put(k, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = %v, %v", ok, err)
+	}
+	if got.Stats.Cycles != 123 || got.Program != r.Program {
+		t.Errorf("disk round trip mutated the result: %+v", got)
+	}
+	// Content-addressed layout: <dir>/<key[:2]>/<key>.json.
+	if _, err := os.Stat(filepath.Join(dir, k[:2], k+".json")); err != nil {
+		t.Errorf("expected fan-out layout: %v", err)
+	}
+	// No stray temp files.
+	entries, err := os.ReadDir(filepath.Join(dir, k[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("store directory has %d entries, want 1", len(entries))
+	}
+	// A second store on the same directory sees the entry (persistence).
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get(k); err != nil || !ok {
+		t.Errorf("entry not visible to a fresh store: %v, %v", ok, err)
+	}
+}
+
+func TestDiskRejectsMalformedKey(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("ab"); err == nil {
+		t.Error("short key accepted")
+	}
+	if err := s.Put("ab", Result{}); err == nil {
+		t.Error("short key accepted on Put")
+	}
+}
+
+func TestTieredPromotesBackHits(t *testing.T) {
+	mem := NewMemoryLRU(8)
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, r := fakeResult(9)
+	// Seed only the back store, as if written by a previous process.
+	if err := disk.Put(k, r); err != nil {
+		t.Fatal(err)
+	}
+	s := NewTiered(mem, disk)
+	if _, ok, err := s.Get(k); err != nil || !ok {
+		t.Fatalf("tiered Get missed a back-store entry: %v, %v", ok, err)
+	}
+	if _, ok, _ := mem.Get(k); !ok {
+		t.Error("back-store hit was not promoted to the front store")
+	}
+	// Put writes through to both tiers.
+	k2, r2 := fakeResult(10)
+	if err := s.Put(k2, r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := mem.Get(k2); !ok {
+		t.Error("Put skipped the front store")
+	}
+	if _, ok, _ := disk.Get(k2); !ok {
+		t.Error("Put skipped the back store")
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// configJSON is the wire form of one machine configuration: either a
+// full core.Config under "config", or the Table 3 shorthand under
+// "paper" (so curl users don't have to spell out every Table 2 field).
+// Exactly one must be set.
+type configJSON struct {
+	Config *core.Config `json:"config,omitempty"`
+	Paper  *paperSpec   `json:"paper,omitempty"`
+}
+
+// paperSpec names a paper configuration the way the CLI flags do.
+type paperSpec struct {
+	// Arch is "ring" or "conv".
+	Arch string `json:"arch"`
+	// Clusters is 4 or 8.
+	Clusters int `json:"clusters"`
+	// IW is the per-side issue width, 1 or 2.
+	IW int `json:"iw"`
+	// Buses is 1 or 2.
+	Buses int `json:"buses"`
+	// Hop is the bus latency per hop; 0 means the default (1 cycle).
+	Hop int `json:"hop,omitempty"`
+	// Steer is "enhanced" (default) or "ssa".
+	Steer string `json:"steer,omitempty"`
+}
+
+// resolve produces the concrete configuration.
+func (c configJSON) resolve() (core.Config, error) {
+	switch {
+	case c.Config != nil && c.Paper != nil:
+		return core.Config{}, errors.New(`set "config" or "paper", not both`)
+	case c.Config != nil:
+		return *c.Config, nil
+	case c.Paper != nil:
+		return c.Paper.resolve()
+	default:
+		return core.Config{}, errors.New(`missing "config" or "paper"`)
+	}
+}
+
+// resolve builds the named Table 3 configuration.
+func (p paperSpec) resolve() (core.Config, error) {
+	var arch core.ArchKind
+	switch strings.ToLower(p.Arch) {
+	case "ring":
+		arch = core.ArchRing
+	case "conv":
+		arch = core.ArchConv
+	default:
+		return core.Config{}, fmt.Errorf("unknown arch %q (want ring or conv)", p.Arch)
+	}
+	cfg, err := core.PaperConfig(arch, p.Clusters, p.IW, p.Buses)
+	if err != nil {
+		return core.Config{}, err
+	}
+	// 0 means unset; any other value (including invalid negatives) is
+	// applied so Config.Validate rejects it, matching the CLI's -hop.
+	if p.Hop != 0 && p.Hop != 1 {
+		cfg = cfg.WithHopLatency(p.Hop)
+	}
+	switch strings.ToLower(p.Steer) {
+	case "", "enhanced":
+	case "ssa":
+		cfg = cfg.WithSteer(core.SteerSimple)
+	default:
+		return core.Config{}, fmt.Errorf("unknown steer %q (want enhanced or ssa)", p.Steer)
+	}
+	return cfg, nil
+}
+
+// resolveConfigs resolves a sweep's configuration list, rejecting
+// duplicate names (the grid is keyed by configuration name downstream).
+func resolveConfigs(list []configJSON) ([]core.Config, error) {
+	out := make([]core.Config, 0, len(list))
+	seen := make(map[string]bool, len(list))
+	for i, cj := range list {
+		cfg, err := cj.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("configs[%d]: %w", i, err)
+		}
+		if seen[cfg.Name] {
+			return nil, fmt.Errorf("configs[%d]: duplicate configuration %q", i, cfg.Name)
+		}
+		seen[cfg.Name] = true
+		out = append(out, cfg)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics counts what the service has done since start. All fields are
+// monotonic counters except QueueLen/Workers, which are gauges sampled at
+// scrape time.
+type Metrics struct {
+	// RunsSubmitted counts run submissions accepted (direct or as sweep
+	// members), including ones deduplicated against in-flight work.
+	RunsSubmitted atomic.Uint64
+	// RunsStarted counts simulations actually begun by a worker (cache
+	// misses).
+	RunsStarted atomic.Uint64
+	// RunsCompleted counts simulations that finished successfully.
+	RunsCompleted atomic.Uint64
+	// RunsFailed counts simulations that ended in error.
+	RunsFailed atomic.Uint64
+	// CacheHits counts submissions served from the result store without
+	// simulating.
+	CacheHits atomic.Uint64
+	// Deduped counts submissions coalesced onto an identical run already
+	// queued or executing.
+	Deduped atomic.Uint64
+	// SweepsSubmitted counts accepted sweep submissions.
+	SweepsSubmitted atomic.Uint64
+	// QueueRejected counts submissions refused because the job queue was
+	// full.
+	QueueRejected atomic.Uint64
+}
+
+// Snapshot is a point-in-time copy of the counters, JSON-encodable.
+type Snapshot struct {
+	RunsSubmitted   uint64 `json:"runs_submitted"`
+	RunsStarted     uint64 `json:"runs_started"`
+	RunsCompleted   uint64 `json:"runs_completed"`
+	RunsFailed      uint64 `json:"runs_failed"`
+	CacheHits       uint64 `json:"cache_hits"`
+	Deduped         uint64 `json:"deduped"`
+	SweepsSubmitted uint64 `json:"sweeps_submitted"`
+	QueueRejected   uint64 `json:"queue_rejected"`
+	QueueLen        int    `json:"queue_len"`
+	Workers         int    `json:"workers"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) snapshot(queueLen, workers int) Snapshot {
+	return Snapshot{
+		RunsSubmitted:   m.RunsSubmitted.Load(),
+		RunsStarted:     m.RunsStarted.Load(),
+		RunsCompleted:   m.RunsCompleted.Load(),
+		RunsFailed:      m.RunsFailed.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		Deduped:         m.Deduped.Load(),
+		SweepsSubmitted: m.SweepsSubmitted.Load(),
+		QueueRejected:   m.QueueRejected.Load(),
+		QueueLen:        queueLen,
+		Workers:         workers,
+	}
+}
+
+// handleMetrics renders the counters in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rows := []struct {
+		name, help, kind string
+		val              uint64
+	}{
+		{"ringsimd_runs_submitted_total", "Run submissions accepted.", "counter", snap.RunsSubmitted},
+		{"ringsimd_runs_started_total", "Simulations started (cache misses).", "counter", snap.RunsStarted},
+		{"ringsimd_runs_completed_total", "Simulations finished successfully.", "counter", snap.RunsCompleted},
+		{"ringsimd_runs_failed_total", "Simulations that ended in error.", "counter", snap.RunsFailed},
+		{"ringsimd_cache_hits_total", "Submissions served from the result store.", "counter", snap.CacheHits},
+		{"ringsimd_deduped_total", "Submissions coalesced onto in-flight runs.", "counter", snap.Deduped},
+		{"ringsimd_sweeps_submitted_total", "Sweep submissions accepted.", "counter", snap.SweepsSubmitted},
+		{"ringsimd_queue_rejected_total", "Submissions refused on a full queue.", "counter", snap.QueueRejected},
+		{"ringsimd_queue_len", "Jobs currently waiting in the queue.", "gauge", uint64(snap.QueueLen)},
+		{"ringsimd_workers", "Size of the simulation worker pool.", "gauge", uint64(snap.Workers)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.val)
+	}
+}

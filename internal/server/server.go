@@ -1,0 +1,643 @@
+// Package server turns the in-process simulation harness into a
+// simulation-as-a-service: a bounded job queue feeding a worker pool of
+// harness.Execute calls, fronted by a content-addressed result store and
+// a small HTTP API.
+//
+//	POST /v1/runs     submit one simulation        -> {id}
+//	GET  /v1/runs/{id}                             -> status + result
+//	POST /v1/sweeps   submit a (config × program) grid -> {id}
+//	GET  /v1/sweeps/{id}                           -> status + results
+//	GET  /healthz     liveness + queue depth
+//	GET  /metrics     Prometheus counters
+//
+// A run's id is the SHA-256 content hash of its canonical request
+// encoding (see internal/results), so identical submissions coalesce: an
+// in-flight duplicate attaches to the running job, and a finished one is
+// answered from the store without simulating. Sweeps expand through
+// harness.Expand, so the grid a sweep names is exactly the grid the CLI
+// tools would run. Sweep members trickle through the bounded queue via a
+// feeder goroutine, so a sweep may be arbitrarily larger than the queue
+// depth; single-run submissions against a full queue fail fast with 503.
+//
+// Memory is bounded: the run and sweep registries evict oldest-terminal
+// entries beyond MaxRuns/MaxSweeps (the content-addressed store still
+// answers evicted requests, so eviction only costs a registry miss, never
+// a re-simulation while the store holds the result).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the job queue; direct run submissions beyond it
+	// are refused with 503 (sweep members block-feed instead).
+	// Default: 256.
+	QueueDepth int
+	// Store caches results by content hash. Default: a 4096-entry
+	// in-memory LRU.
+	Store results.Store
+	// MaxRuns bounds the run registry: beyond it, the oldest terminal
+	// runs not referenced by an unfinished sweep are evicted (their
+	// results remain in the Store). Default: 8192.
+	MaxRuns int
+	// MaxSweeps bounds the sweep registry, evicting oldest first.
+	// Default: 1024.
+	MaxSweeps int
+}
+
+// runStatus is the lifecycle of one submitted run.
+type runStatus string
+
+const (
+	statusQueued  runStatus = "queued"
+	statusRunning runStatus = "running"
+	statusDone    runStatus = "done"
+	statusFailed  runStatus = "failed"
+)
+
+// terminal reports whether the status is final.
+func (s runStatus) terminal() bool { return s == statusDone || s == statusFailed }
+
+// runState tracks one unique run (content key) through the queue.
+type runState struct {
+	key    string
+	req    harness.Request
+	status runStatus
+	// cached marks runs answered from the store rather than simulated by
+	// this server instance.
+	cached bool
+	result results.Result
+	// refs counts unfinished sweeps referencing this run; a referenced
+	// run is never evicted from the registry.
+	refs int
+}
+
+// sweepState tracks one sweep submission. Until every member is
+// terminal it references live runStates; then it materializes its final
+// view and drops the references.
+type sweepState struct {
+	id   string
+	keys []string
+	// preCached marks members that were already finished when this sweep
+	// was submitted — cache hits from this sweep's point of view, without
+	// mutating the shared run state.
+	preCached map[string]bool
+	// done marks a materialized sweep; view is then the immutable answer.
+	done bool
+	view sweepView
+}
+
+// Server is the simulation service. Create with New, serve via Handler,
+// stop with Close.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	jobs chan string   // content keys awaiting a worker
+	quit chan struct{} // closed to stop sweep feeders
+
+	mu           sync.Mutex
+	closed       bool
+	runs         map[string]*runState
+	sweeps       map[string]*sweepState
+	terminalKeys []string // eviction order for terminal runs
+	sweepOrder   []string // eviction order for sweeps
+	nextID       int
+
+	metrics  Metrics
+	wg       sync.WaitGroup // workers
+	feederWG sync.WaitGroup // sweep feeders
+}
+
+// New starts the worker pool and returns a ready server.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.Store == nil {
+		opts.Store = results.NewMemoryLRU(4096)
+	}
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = 8192
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 1024
+	}
+	s := &Server{
+		opts:   opts,
+		jobs:   make(chan string, opts.QueueDepth),
+		quit:   make(chan struct{}),
+		runs:   make(map[string]*runState),
+		sweeps: make(map[string]*sweepState),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a snapshot of the service counters.
+func (s *Server) Metrics() Snapshot {
+	return s.metrics.snapshot(len(s.jobs), s.opts.Workers)
+}
+
+// Close stops accepting submissions, stops sweep feeders, drains the
+// queue, and waits for in-flight simulations to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// closed now gates new submissions and feeders (both check it under
+	// s.mu), so after the feeders drain nothing can send on jobs.
+	close(s.quit)
+	s.feederWG.Wait()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// worker consumes content keys from the queue and simulates them.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for key := range s.jobs {
+		s.runOne(key)
+	}
+}
+
+// runOne resolves one queued run: from the store if present, otherwise
+// by simulating and writing through. Store I/O happens outside s.mu —
+// the store is concurrency-safe and a key fully determines its value,
+// and only one job per key generation is ever in flight, so no other
+// goroutine races on this state.
+func (s *Server) runOne(key string) {
+	s.mu.Lock()
+	st, ok := s.runs[key]
+	if !ok || st.status.terminal() {
+		s.mu.Unlock()
+		return
+	}
+	req := st.req
+	s.mu.Unlock()
+
+	// Check the store before simulating: a run may have been cached by a
+	// previous process (disk store) or a prior generation of this key.
+	if res, hit, err := s.opts.Store.Get(key); err == nil && hit {
+		s.mu.Lock()
+		s.finishLocked(st, res, true)
+		s.mu.Unlock()
+		s.metrics.CacheHits.Add(1)
+		return
+	}
+
+	s.mu.Lock()
+	st.status = statusRunning
+	s.mu.Unlock()
+	s.metrics.RunsStarted.Add(1)
+	run := harness.Execute(req)
+	res, convErr := results.FromRun(req, run)
+	if convErr != nil {
+		res = results.Result{Key: key, Config: req.Config.Name, Program: req.Program, Err: convErr.Error()}
+	}
+	if res.Failed() {
+		s.metrics.RunsFailed.Add(1)
+	} else {
+		s.metrics.RunsCompleted.Add(1)
+		// Only successful runs are cached; failures are deterministic
+		// too, but keeping them out of the store means a fixed simulator
+		// never has to invalidate poisoned entries. Losing the write only
+		// costs a future re-simulation: the result is still served from
+		// the registry.
+		_ = s.opts.Store.Put(key, res)
+	}
+
+	s.mu.Lock()
+	s.finishLocked(st, res, false)
+	s.mu.Unlock()
+}
+
+// finishLocked marks a run terminal and schedules it for eviction.
+// Callers must hold s.mu.
+func (s *Server) finishLocked(st *runState, res results.Result, fromCache bool) {
+	if res.Failed() {
+		st.status = statusFailed
+	} else {
+		st.status = statusDone
+	}
+	st.cached = fromCache
+	st.result = res
+	s.terminalKeys = append(s.terminalKeys, st.key)
+	s.evictRunsLocked()
+}
+
+// evictRunsLocked drops oldest terminal runs beyond MaxRuns, skipping
+// any referenced by an unfinished sweep. Callers must hold s.mu.
+func (s *Server) evictRunsLocked() {
+	scans := len(s.terminalKeys)
+	for i := 0; i < scans && len(s.runs) > s.opts.MaxRuns && len(s.terminalKeys) > 0; i++ {
+		key := s.terminalKeys[0]
+		s.terminalKeys = s.terminalKeys[1:]
+		st, ok := s.runs[key]
+		if !ok || !st.status.terminal() {
+			// Already evicted, or the key was re-registered as a fresh run
+			// after an earlier eviction; this generation's entry will be
+			// re-appended when it turns terminal.
+			continue
+		}
+		if st.refs > 0 {
+			s.terminalKeys = append(s.terminalKeys, key)
+			continue
+		}
+		delete(s.runs, key)
+	}
+}
+
+// evictSweepsLocked drops oldest sweeps beyond MaxSweeps. Callers must
+// hold s.mu.
+func (s *Server) evictSweepsLocked() {
+	for len(s.sweepOrder) > s.opts.MaxSweeps {
+		id := s.sweepOrder[0]
+		s.sweepOrder = s.sweepOrder[1:]
+		if sw, ok := s.sweeps[id]; ok && !sw.done {
+			for _, k := range sw.keys {
+				s.runs[k].refs--
+			}
+		}
+		delete(s.sweeps, id)
+	}
+}
+
+// errQueueFull is returned when the bounded queue cannot take a new job.
+var errQueueFull = errors.New("job queue full")
+
+// errClosed is returned after Close.
+var errClosed = errors.New("server closed")
+
+// registerLocked records one pre-validated request in the run table,
+// coalescing on content key. fresh means the caller must arrange for the
+// key to reach the job queue; hit means the request was already finished
+// and this submission is a cache hit. Callers must hold s.mu.
+func (s *Server) registerLocked(req harness.Request, key string) (st *runState, fresh, hit bool) {
+	s.metrics.RunsSubmitted.Add(1)
+	if st, ok := s.runs[key]; ok {
+		if st.status.terminal() {
+			// Finished earlier (this process or the store): a resubmission
+			// is a pure cache hit, no queue traffic.
+			s.metrics.CacheHits.Add(1)
+			return st, false, true
+		}
+		s.metrics.Deduped.Add(1)
+		return st, false, false
+	}
+	st = &runState{key: key, req: req, status: statusQueued}
+	s.runs[key] = st
+	return st, true, false
+}
+
+// prepare validates a request and computes its content key (both outside
+// any lock — hashing is pure CPU).
+func prepare(req harness.Request) (string, error) {
+	if err := validate(req); err != nil {
+		return "", err
+	}
+	return results.NewRequest(req).Key()
+}
+
+// submit registers one request and enqueues it non-blocking — the
+// direct-run path, where a full queue is a fast 503. Registration and
+// enqueue share one critical section, so a refused submission leaves no
+// trace and Close can never close the queue mid-submit.
+func (s *Server) submit(req harness.Request) (*runState, bool, error) {
+	key, err := prepare(req)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, errClosed
+	}
+	st, fresh, hit := s.registerLocked(req, key)
+	if fresh {
+		select {
+		case s.jobs <- key:
+		default:
+			delete(s.runs, key)
+			s.metrics.QueueRejected.Add(1)
+			return nil, false, errQueueFull
+		}
+	}
+	return st, hit, nil
+}
+
+// feed pushes sweep-member keys into the job queue, blocking on a full
+// queue so arbitrarily large grids flow through the bounded buffer.
+// Runs on its own goroutine per sweep; stops when the server closes.
+func (s *Server) feed(keys []string) {
+	defer s.feederWG.Done()
+	for _, key := range keys {
+		select {
+		case s.jobs <- key:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// validate rejects malformed requests before they consume queue space.
+func validate(req harness.Request) error {
+	if err := req.Config.Validate(); err != nil {
+		return err
+	}
+	if req.Config.Name == "" {
+		return errors.New("config.name must be set")
+	}
+	if req.Program == "" {
+		return errors.New("program must be set")
+	}
+	if _, err := workload.ByName(req.Program); err != nil {
+		return err
+	}
+	if req.Insts == 0 {
+		return errors.New("insts must be positive")
+	}
+	return nil
+}
+
+// --- HTTP wire types ---
+
+// runView is the GET /v1/runs/{id} response body.
+type runView struct {
+	ID     string          `json:"id"`
+	Status runStatus       `json:"status"`
+	Cached bool            `json:"cached"`
+	Result *results.Result `json:"result,omitempty"`
+}
+
+// viewRun renders a run state. Callers must hold s.mu.
+func viewRun(st *runState) runView {
+	v := runView{ID: st.key, Status: st.status, Cached: st.cached}
+	if st.status.terminal() {
+		res := st.result
+		v.Result = &res
+	}
+	return v
+}
+
+// sweepRequest is the POST /v1/sweeps body: the same grid parameters
+// harness.Expand takes.
+type sweepRequest struct {
+	Configs  []configJSON `json:"configs"`
+	Programs []string     `json:"programs"`
+	Insts    uint64       `json:"insts"`
+	Warmup   uint64       `json:"warmup"`
+}
+
+// sweepView is the GET /v1/sweeps/{id} response body.
+type sweepView struct {
+	ID        string           `json:"id"`
+	Status    runStatus        `json:"status"`
+	Total     int              `json:"total"`
+	Done      int              `json:"done"`
+	Failed    int              `json:"failed"`
+	CacheHits int              `json:"cache_hits"`
+	Runs      []runView        `json:"runs"`
+	Results   []results.Result `json:"results,omitempty"`
+}
+
+// runSubmission is the POST /v1/runs body: one configuration (full or
+// paper shorthand) plus the harness.Request scalars.
+type runSubmission struct {
+	configJSON
+	Program string `json:"program"`
+	Insts   uint64 `json:"insts"`
+	Warmup  uint64 `json:"warmup"`
+}
+
+// handleSubmitRun accepts one simulation request.
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var sub runSubmission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	cfg, err := sub.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := harness.Request{Config: cfg, Program: sub.Program, Insts: sub.Insts, Warmup: sub.Warmup}
+	st, hit, err := s.submit(req)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	s.mu.Lock()
+	v := viewRun(st)
+	s.mu.Unlock()
+	// The response describes this submission: answered-without-simulating
+	// counts as cached even if the original run was simulated here.
+	v.Cached = v.Cached || hit
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleGetRun reports one run's status and, when finished, its result.
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st, ok := s.runs[r.PathValue("id")]
+	var v runView
+	if ok {
+		v = viewRun(st)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("unknown run id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleSubmitSweep expands a grid and enqueues every member run. All
+// members are validated before any is registered, so a bad sweep is
+// all-or-nothing: it can never leave stray runs behind.
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var sr sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(sr.Configs) == 0 || len(sr.Programs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("sweep needs at least one config and one program"))
+		return
+	}
+	configs, err := resolveConfigs(sr.Configs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs := harness.Expand(configs, sr.Programs, sr.Insts, sr.Warmup)
+	keys := make([]string, len(reqs))
+	for i, req := range reqs {
+		if keys[i], err = prepare(req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%s/%s: %w", req.Config.Name, req.Program, err))
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, submitStatus(errClosed), errClosed)
+		return
+	}
+	sw := &sweepState{preCached: make(map[string]bool)}
+	var pending []string // fresh members, fed to the queue in order
+	for i, req := range reqs {
+		st, fresh, hit := s.registerLocked(req, keys[i])
+		st.refs++
+		if fresh {
+			pending = append(pending, keys[i])
+		}
+		if hit {
+			sw.preCached[keys[i]] = true
+		}
+	}
+	if len(pending) > 0 {
+		// Under s.mu so Close (which flips closed under the same lock
+		// before waiting on feeders) cannot miss this feeder.
+		s.feederWG.Add(1)
+		go s.feed(pending)
+	}
+	s.nextID++
+	sw.id = fmt.Sprintf("sweep-%06d", s.nextID)
+	sw.keys = keys
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	s.evictSweepsLocked()
+	v := s.viewSweepLocked(sw)
+	s.mu.Unlock()
+	s.metrics.SweepsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleGetSweep reports sweep progress and, when every member is
+// terminal, the full result set in grid order.
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	var v sweepView
+	if ok {
+		v = s.viewSweepLocked(sw)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("unknown sweep id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// viewSweepLocked renders sweep progress. The first render after every
+// member turns terminal materializes the final view and releases the
+// member references, making the runs evictable. Callers must hold s.mu.
+func (s *Server) viewSweepLocked(sw *sweepState) sweepView {
+	if sw.done {
+		return sw.view
+	}
+	v := sweepView{ID: sw.id, Total: len(sw.keys), Runs: make([]runView, 0, len(sw.keys))}
+	for _, key := range sw.keys {
+		st := s.runs[key] // refs pin every member while the sweep is live
+		rv := viewRun(st)
+		rv.Cached = rv.Cached || sw.preCached[key]
+		v.Runs = append(v.Runs, rv)
+		switch st.status {
+		case statusDone:
+			v.Done++
+		case statusFailed:
+			v.Failed++
+		}
+		if rv.Cached {
+			v.CacheHits++
+		}
+	}
+	switch {
+	case v.Done+v.Failed < v.Total:
+		v.Status = statusRunning
+		return v
+	case v.Failed > 0:
+		v.Status = statusFailed
+	default:
+		v.Status = statusDone
+	}
+	v.Results = make([]results.Result, 0, len(sw.keys))
+	for _, key := range sw.keys {
+		v.Results = append(v.Results, s.runs[key].result)
+		s.runs[key].refs--
+	}
+	sw.done = true
+	sw.view = v
+	sw.preCached = nil
+	s.evictRunsLocked()
+	return v
+}
+
+// handleHealthz reports liveness and queue depth.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"queue_len": len(s.jobs),
+		"workers":   s.opts.Workers,
+	})
+}
+
+// submitStatus maps a submit error to an HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeJSON renders v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError renders an error body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
