@@ -7,9 +7,17 @@
 //	        [-hop N] [-steer enhanced|ssa] [-insts N] [-warmup N]
 //	        [-progs name,name,...|all|int|fp] [-v] [-json]
 //
+//	ringsim explore [-axes SPEC] [-strategy grid|random|climb]
+//	        [-budget N] [-samples N] [-seed N] [-progs ...]
+//	        [-insts N] [-warmup N] [-cache-dir DIR] [-json]
+//
 // With -json, output is the internal/results encoding: one JSON array of
 // result records, each carrying the same content-hash key ringsimd uses,
 // so CLI runs and service cache entries are directly comparable.
+//
+// The explore subcommand searches a configuration space for the
+// IPC × area Pareto frontier (see internal/dse); it shares the search
+// engine and content-addressed caching with ringsimd's /v1/explore.
 package main
 
 import (
@@ -26,6 +34,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		exploreMain(os.Args[2:])
+		return
+	}
 	arch := flag.String("arch", "ring", "architecture: ring or conv")
 	clusters := flag.Int("clusters", 8, "number of clusters (4 or 8)")
 	iw := flag.Int("iw", 2, "per-side issue width per cluster (1 or 2)")

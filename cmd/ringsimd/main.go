@@ -1,7 +1,10 @@
 // Command ringsimd serves the ring-cluster simulator over HTTP: a
 // bounded job queue, a worker pool of simulations, and a
 // content-addressed result cache so no (config, program, insts, warmup)
-// tuple is ever simulated twice.
+// tuple is ever simulated twice. Besides single runs and grid sweeps it
+// serves design-space explorations (POST /v1/explore): Pareto searches
+// over IPC × area whose candidate evaluations ride the same queue,
+// workers, and cache.
 //
 // Usage:
 //

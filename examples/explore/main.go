@@ -1,0 +1,95 @@
+// Example explore rediscovers the paper's preferred machine
+// automatically. The paper argues for the ring organization at 8
+// clusters, 1 bus, and 2-wide issue by hand-comparing the ten Table 3
+// configurations. This example instead hands the whole
+// arch × clusters × buses × issue-width space to the design-space
+// explorer and asks for the IPC × area Pareto frontier — the proposed
+// configuration should emerge as a frontier point, not an assumption.
+//
+// It then re-runs the identical exploration against the same result
+// store to demonstrate the content-addressed cache: the second pass
+// simulates nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/results"
+)
+
+func main() {
+	// The search space: both architectures, both paper cluster counts,
+	// both bus counts, both issue widths — 16 candidates, of which the
+	// paper hand-evaluates ten.
+	space := dse.Space{
+		Base: core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		Axes: []dse.Axis{
+			{Name: dse.AxisArch, Values: []int{0, 1}},
+			{Name: dse.AxisClusters, Values: []int{4, 8}},
+			{Name: dse.AxisBuses, Values: []int{1, 2}},
+			{Name: dse.AxisIW, Values: []int{1, 2}},
+		},
+	}
+	store := results.NewMemoryLRU(1024)
+	opts := dse.Options{
+		Space:    space,
+		Strategy: &dse.GridStrategy{},
+		Evaluator: &dse.SimEvaluator{
+			// A short representative suite keeps the example quick; the
+			// full suite only sharpens the IPC estimates.
+			Programs: []string{"gcc", "mcf", "swim", "art"},
+			Insts:    40_000,
+			Warmup:   8_000,
+			Store:    store,
+		},
+		Seed: 1,
+	}
+
+	fmt.Println("Exploring arch × clusters × buses × issue width (16 candidates)...")
+	rep, err := dse.Explore(opts)
+	if err != nil {
+		log.Fatal("explore: ", err)
+	}
+	fmt.Printf("evaluated %d/%d candidates with %d simulations\n\n",
+		rep.Evaluated, rep.SpaceSize, rep.SimsRun)
+
+	// The paper's proposed machine, materialized through the same space
+	// so the canonical name matches.
+	preferred := dse.Candidate{Params: map[string]int{
+		dse.AxisArch: 0, dse.AxisClusters: 8, dse.AxisBuses: 1, dse.AxisIW: 2,
+	}}
+	prefCfg, err := space.Config(preferred)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Pareto frontier (%d points):\n", len(rep.Frontier))
+	fmt.Printf("%-46s %8s %14s\n", "config", "IPC", "area (λ²)")
+	onFrontier := false
+	for _, p := range rep.Frontier {
+		mark := " "
+		if p.Config == prefCfg.Name {
+			mark = "*"
+			onFrontier = true
+		}
+		fmt.Printf("%-45s%s %8.3f %14.3e\n", p.Config, mark, p.Objectives.IPC, p.Objectives.Area)
+	}
+	if onFrontier {
+		fmt.Println("\n* the paper's proposed configuration (Ring, 8 clusters, 1 bus, 2IW)")
+		fmt.Println("  is Pareto-optimal: discovered by search, not assumed.")
+	} else {
+		fmt.Println("\nnote: the paper's proposed configuration was dominated at this")
+		fmt.Println("instruction budget; longer runs sharpen the IPC estimates.")
+	}
+
+	// Re-run the identical exploration over the warm store.
+	rep2, err := dse.Explore(opts)
+	if err != nil {
+		log.Fatal("re-explore: ", err)
+	}
+	fmt.Printf("\nre-exploration over the warm cache: %d simulations, %d cache hits (%.0f%% hit rate)\n",
+		rep2.SimsRun, rep2.CacheHits, 100*rep2.CacheHitRate())
+}

@@ -1,0 +1,348 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/results"
+)
+
+// testSpace is a small 3-axis space (2×2×2 = 8 points) over the paper's
+// 4-cluster ring base, cheap enough to exhaust in tests.
+func testSpace() Space {
+	return Space{
+		Base: core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+		Axes: []Axis{
+			{Name: AxisArch, Values: []int{0, 1}},
+			{Name: AxisIW, Values: []int{1, 2}},
+			{Name: AxisBuses, Values: []int{1, 2}},
+		},
+	}
+}
+
+// testEval builds a fast evaluator over the given store.
+func testEval(store results.Store) *SimEvaluator {
+	return &SimEvaluator{
+		Programs: []string{"gcc", "swim"},
+		Insts:    1_500,
+		Warmup:   300,
+		Store:    store,
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Objectives
+		want bool
+	}{
+		{Objectives{IPC: 2, Area: 100}, Objectives{IPC: 1, Area: 200}, true},
+		{Objectives{IPC: 2, Area: 100}, Objectives{IPC: 2, Area: 100}, false}, // equal: no strict edge
+		{Objectives{IPC: 2, Area: 100}, Objectives{IPC: 2, Area: 150}, true},
+		{Objectives{IPC: 1, Area: 100}, Objectives{IPC: 2, Area: 50}, false},
+		{Objectives{IPC: 2, Area: 200}, Objectives{IPC: 1, Area: 100}, false}, // trade-off: incomparable
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%+v dominates %+v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFrontierPruning(t *testing.T) {
+	var f Frontier
+	pt := func(ipc, area float64) Point {
+		return Point{Objectives: Objectives{IPC: ipc, Area: area}}
+	}
+	if !f.Add(pt(1.0, 100)) {
+		t.Fatal("first point rejected")
+	}
+	// Incomparable point joins.
+	if !f.Add(pt(2.0, 200)) {
+		t.Fatal("incomparable point rejected")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("frontier size %d, want 2", f.Len())
+	}
+	// Dominated point is refused.
+	if f.Add(pt(0.5, 150)) {
+		t.Error("dominated point accepted")
+	}
+	// A dominating point evicts everything it beats.
+	if !f.Add(pt(2.5, 90)) {
+		t.Fatal("dominating point rejected")
+	}
+	got := f.Points()
+	if len(got) != 1 || got[0].Objectives.IPC != 2.5 {
+		t.Fatalf("frontier after dominating add: %+v", got)
+	}
+	// Points come back sorted by ascending area.
+	f = Frontier{}
+	f.Add(pt(3, 300))
+	f.Add(pt(1, 100))
+	f.Add(pt(2, 200))
+	ps := f.Points()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Objectives.Area < ps[i-1].Objectives.Area {
+			t.Fatalf("frontier not sorted by area: %+v", ps)
+		}
+	}
+}
+
+func TestSpaceGridAndNeighbors(t *testing.T) {
+	s := testSpace()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	grid := s.Grid()
+	if len(grid) != 8 || s.Size() != 8 {
+		t.Fatalf("grid has %d points, size %d, want 8", len(grid), s.Size())
+	}
+	seen := make(map[string]bool)
+	for _, c := range grid {
+		seen[c.Key()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("grid has %d distinct keys, want 8", len(seen))
+	}
+	// A corner point has exactly one neighbor per axis.
+	corner := Candidate{Params: map[string]int{AxisArch: 0, AxisIW: 1, AxisBuses: 1}}
+	if n := s.Neighbors(corner); len(n) != 3 {
+		t.Fatalf("corner has %d neighbors, want 3", len(n))
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	base := core.MustPaperConfig(core.ArchRing, 4, 2, 1)
+	cases := []Space{
+		{Base: base},                                                    // no axes
+		{Base: base, Axes: []Axis{{Name: "frequency", Values: []int{1}}}}, // unknown
+		{Base: base, Axes: []Axis{{Name: AxisIW}}},                      // empty axis
+		{Base: base, Axes: []Axis{{Name: AxisIW, Values: []int{1}}, {Name: AxisIW, Values: []int{2}}}}, // dup
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid space accepted", i)
+		}
+	}
+}
+
+func TestCandidateConfigNameIsCanonical(t *testing.T) {
+	s := testSpace()
+	a := Candidate{Params: map[string]int{AxisArch: 0, AxisIW: 2, AxisBuses: 1}}
+	cfgA, err := s.Config(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same point proposed through a space that pins iw in the base
+	// must produce the identical config (same name, same content hash).
+	s2 := s
+	s2.Base.IssueInt, s2.Base.IssueFP = 2, 2
+	s2.Axes = []Axis{
+		{Name: AxisArch, Values: []int{0, 1}},
+		{Name: AxisBuses, Values: []int{1, 2}},
+	}
+	b := Candidate{Params: map[string]int{AxisArch: 0, AxisBuses: 1}}
+	cfgB, err := s2.Config(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfgA, cfgB) {
+		t.Errorf("equivalent candidates materialize differently:\n%+v\n%+v", cfgA, cfgB)
+	}
+}
+
+func TestSpaceSkipsInvalidPoints(t *testing.T) {
+	// 18 clusters is outside the validator's range: the point must be
+	// skipped, not fatal, and the rest of the axis must still evaluate.
+	s := Space{
+		Base: core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+		Axes: []Axis{
+			{Name: AxisClusters, Values: []int{2, 18}},
+			{Name: AxisIW, Values: []int{1}},
+			{Name: AxisBuses, Values: []int{1}},
+		},
+	}
+	rep, err := Explore(Options{
+		Space:     s,
+		Strategy:  &GridStrategy{},
+		Evaluator: testEval(nil),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 1 || rep.Evaluated != 1 {
+		t.Fatalf("skipped=%d evaluated=%d, want 1/1", rep.Skipped, rep.Evaluated)
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	axes, err := ParseAxes("clusters=4,8;iw=1..2;hop=1..5/2;arch=ring,conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Axis{
+		{Name: "clusters", Values: []int{4, 8}},
+		{Name: "iw", Values: []int{1, 2}},
+		{Name: "hop", Values: []int{1, 3, 5}},
+		{Name: "arch", Values: []int{0, 1}},
+	}
+	if !reflect.DeepEqual(axes, want) {
+		t.Fatalf("ParseAxes = %+v, want %+v", axes, want)
+	}
+	for _, bad := range []string{"", "clusters", "clusters=", "clusters=x", "clusters=4x8", "hop=5..1", "hop=1..4/0", "hop=1..4/2x", "arch=torus"} {
+		if _, err := ParseAxes(bad); err == nil {
+			t.Errorf("ParseAxes(%q) accepted", bad)
+		}
+	}
+}
+
+// TestExploreGridZeroResim is the acceptance test: an exhaustive
+// exploration over a 3-axis space yields a non-empty frontier over both
+// objectives, and re-running the identical exploration against the same
+// store performs zero new simulations — every point is a cache hit.
+func TestExploreGridZeroResim(t *testing.T) {
+	store := results.NewMemoryLRU(256)
+	opts := Options{
+		Space:     testSpace(),
+		Strategy:  &GridStrategy{},
+		Evaluator: testEval(store),
+		Seed:      1,
+	}
+	rep1, err := Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Evaluated != 8 {
+		t.Fatalf("first pass evaluated %d points, want 8", rep1.Evaluated)
+	}
+	if len(rep1.Frontier) == 0 {
+		t.Fatal("first pass found an empty frontier")
+	}
+	if rep1.SimsRun != 8*2 || rep1.CacheHits != 0 {
+		t.Fatalf("first pass sims=%d hits=%d, want 16/0", rep1.SimsRun, rep1.CacheHits)
+	}
+	// Frontier points must be mutually non-dominated and span both
+	// objectives when more than one survives.
+	for i, p := range rep1.Frontier {
+		for j, q := range rep1.Frontier {
+			if i != j && p.Objectives.Dominates(q.Objectives) {
+				t.Fatalf("frontier member %+v dominates member %+v", p, q)
+			}
+		}
+	}
+
+	// Second identical exploration: all cache, no simulation.
+	opts.Evaluator = testEval(store)
+	rep2, err := Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SimsRun != 0 {
+		t.Fatalf("re-exploration ran %d simulations, want 0", rep2.SimsRun)
+	}
+	if rep2.CacheHits != 8*2 {
+		t.Fatalf("re-exploration cache hits = %d, want 16", rep2.CacheHits)
+	}
+	if rep2.CacheHitRate() != 1 {
+		t.Fatalf("re-exploration hit rate = %v, want 1", rep2.CacheHitRate())
+	}
+	if !reflect.DeepEqual(rep1.Frontier, rep2.Frontier) {
+		t.Error("cached exploration found a different frontier")
+	}
+}
+
+// TestExploreRandomDeterministicAndBudget checks seeding and the budget
+// clamp.
+func TestExploreRandomDeterministicAndBudget(t *testing.T) {
+	store := results.NewMemoryLRU(256)
+	opts := Options{
+		Space:     testSpace(),
+		Strategy:  &RandomStrategy{Samples: 6, Batch: 2},
+		Evaluator: testEval(store),
+		Budget:    4,
+		Seed:      7,
+	}
+	rep1, err := Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Evaluated > 4 {
+		t.Fatalf("budget 4 but evaluated %d", rep1.Evaluated)
+	}
+	// Same seed, same store: identical points, all cached.
+	rep2, err := Explore(Options{
+		Space:     opts.Space,
+		Strategy:  &RandomStrategy{Samples: 6, Batch: 2},
+		Evaluator: testEval(store),
+		Budget:    4,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SimsRun != 0 {
+		t.Fatalf("replayed exploration simulated %d times", rep2.SimsRun)
+	}
+	if !reflect.DeepEqual(pointKeys(rep1.Points), pointKeys(rep2.Points)) {
+		t.Error("same seed explored different points")
+	}
+}
+
+// TestExploreClimberConverges runs the adaptive strategy and checks it
+// terminates with a frontier no worse than a pure random sample of the
+// same budget (it subsumes its own seeds).
+func TestExploreClimberConverges(t *testing.T) {
+	store := results.NewMemoryLRU(256)
+	rep, err := Explore(Options{
+		Space:     testSpace(),
+		Strategy:  &ClimberStrategy{Seeds: 2, MaxRounds: 8},
+		Evaluator: testEval(store),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("climber found no frontier")
+	}
+	if rep.Rounds < 2 {
+		t.Fatalf("climber stopped after %d rounds — never expanded its seeds", rep.Rounds)
+	}
+	// Every frontier member's in-space neighbors were proposed: the
+	// climb only ends when the frontier is locally closed (or capped).
+	if rep.Rounds >= 8 {
+		t.Logf("climber hit MaxRounds (frontier size %d)", len(rep.Frontier))
+	}
+}
+
+// pointKeys projects evaluation order onto candidate keys.
+func pointKeys(ps []Point) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Candidate.Key()
+	}
+	return out
+}
+
+func TestAreaScalesWithKnobs(t *testing.T) {
+	small := core.MustPaperConfig(core.ArchRing, 4, 1, 1)
+	big := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
+	if Area(small) <= 0 {
+		t.Fatal("non-positive area")
+	}
+	if Area(big) <= Area(small) {
+		t.Errorf("8-cluster 2IW area %.0f not larger than 4-cluster 1IW %.0f", Area(big), Area(small))
+	}
+	wide := small
+	wide.IssueInt, wide.IssueFP = 2, 2
+	if Area(wide) <= Area(small) {
+		t.Error("wider issue is free in the area model")
+	}
+	moreRegs := small
+	moreRegs.RegsInt, moreRegs.RegsFP = 96, 96
+	if Area(moreRegs) <= Area(small) {
+		t.Error("larger register file is free in the area model")
+	}
+}

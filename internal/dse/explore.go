@@ -1,0 +1,184 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Options configures one exploration.
+type Options struct {
+	// Space is the search domain. Required.
+	Space Space
+	// Strategy decides which candidates to try. Required.
+	Strategy Strategy
+	// Evaluator scores candidates. Required.
+	Evaluator Evaluator
+	// Budget caps the number of candidates evaluated (0 = the grid
+	// size, so exhaustive search always terminates).
+	Budget int
+	// Concurrency is the per-batch evaluation parallelism. Default:
+	// GOMAXPROCS.
+	Concurrency int
+	// Seed drives the stochastic strategies; the same seed replays the
+	// same exploration.
+	Seed int64
+	// Observer, when set, is called after every completed batch with the
+	// running report. The engine calls it from one goroutine at a time.
+	Observer func(*Report)
+}
+
+// Report is the outcome of an exploration.
+type Report struct {
+	// Strategy is the strategy name.
+	Strategy string `json:"strategy"`
+	// SpaceSize is the full grid cardinality of the space.
+	SpaceSize int `json:"space_size"`
+	// Proposed counts candidates the strategy offered (after dedupe).
+	Proposed int `json:"proposed"`
+	// Evaluated counts candidates actually scored.
+	Evaluated int `json:"evaluated"`
+	// Skipped counts candidates whose configuration failed validation
+	// (e.g. a ring too deep for the bus reservation window).
+	Skipped int `json:"skipped"`
+	// Failed counts candidates whose simulation errored.
+	Failed int `json:"failed"`
+	// SimsRun counts individual program simulations executed.
+	SimsRun int `json:"sims_run"`
+	// CacheHits counts program runs served from the result store.
+	CacheHits int `json:"cache_hits"`
+	// Rounds counts propose-evaluate cycles.
+	Rounds int `json:"rounds"`
+	// Frontier is the final Pareto set, ascending by area.
+	Frontier []Point `json:"frontier"`
+	// Points is every evaluated point, in evaluation order.
+	Points []Point `json:"points"`
+}
+
+// CacheHitRate returns the fraction of program runs served from cache.
+func (r *Report) CacheHitRate() float64 {
+	total := r.SimsRun + r.CacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
+}
+
+// Explore runs the strategy to completion over the space and returns the
+// Pareto frontier. Candidate evaluations within a batch run concurrently;
+// every one flows through the evaluator's result store, so repeated
+// explorations of overlapping spaces re-simulate nothing.
+func Explore(opts Options) (*Report, error) {
+	if err := opts.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Strategy == nil {
+		return nil, fmt.Errorf("dse: no strategy")
+	}
+	if opts.Evaluator == nil {
+		return nil, fmt.Errorf("dse: no evaluator")
+	}
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = opts.Space.Size()
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = Concurrency()
+	}
+
+	st := &State{
+		Space:     &opts.Space,
+		Rand:      rand.New(rand.NewSource(opts.Seed)),
+		Frontier:  &Frontier{},
+		Evaluated: make(map[string]Point),
+		Seen:      make(map[string]bool),
+	}
+	rep := &Report{Strategy: opts.Strategy.Name(), SpaceSize: opts.Space.Size()}
+
+	for rep.Evaluated+rep.Skipped+rep.Failed < budget {
+		batch := opts.Strategy.Next(st)
+		if len(batch) == 0 {
+			break
+		}
+		// Dedupe against everything already proposed, then clip to budget.
+		fresh := batch[:0]
+		for _, c := range batch {
+			k := c.Key()
+			if st.Seen[k] {
+				continue
+			}
+			st.Seen[k] = true
+			fresh = append(fresh, c)
+		}
+		if room := budget - (rep.Evaluated + rep.Skipped + rep.Failed); len(fresh) > room {
+			fresh = fresh[:room]
+		}
+		rep.Proposed += len(fresh)
+		if len(fresh) == 0 {
+			st.Round++
+			continue
+		}
+		outs := evaluateBatch(&opts.Space, opts.Evaluator, fresh, workers)
+		for i, o := range outs {
+			rep.SimsRun += o.stats.Sims
+			rep.CacheHits += o.stats.CacheHits
+			switch {
+			case o.invalid:
+				rep.Skipped++
+			case o.err != nil:
+				rep.Failed++
+			default:
+				p := Point{Candidate: fresh[i], Config: o.config, Objectives: o.obj}
+				st.Evaluated[fresh[i].Key()] = p
+				st.Frontier.Add(p)
+				rep.Evaluated++
+				rep.Points = append(rep.Points, p)
+			}
+		}
+		st.Round++
+		rep.Rounds = st.Round
+		if opts.Observer != nil {
+			rep.Frontier = st.Frontier.Points()
+			opts.Observer(rep)
+		}
+	}
+	rep.Frontier = st.Frontier.Points()
+	if rep.Evaluated == 0 {
+		return rep, fmt.Errorf("dse: no candidate evaluated (%d invalid, %d failed)", rep.Skipped, rep.Failed)
+	}
+	return rep, nil
+}
+
+// outcome is one candidate's evaluation result.
+type outcome struct {
+	config  string
+	obj     Objectives
+	stats   EvalStats
+	invalid bool
+	err     error
+}
+
+// evaluateBatch scores a batch concurrently, preserving order.
+func evaluateBatch(space *Space, ev Evaluator, batch []Candidate, workers int) []outcome {
+	outs := make([]outcome, len(batch))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, c := range batch {
+		wg.Add(1)
+		go func(i int, c Candidate) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg, err := space.Config(c)
+			if err != nil {
+				outs[i] = outcome{invalid: true}
+				return
+			}
+			obj, stats, err := ev.Evaluate(cfg)
+			outs[i] = outcome{config: cfg.Name, obj: obj, stats: stats, err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	return outs
+}

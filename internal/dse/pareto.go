@@ -1,0 +1,87 @@
+package dse
+
+import "sort"
+
+// Objectives are the two scores every candidate is judged on. IPC is
+// maximized; Area is minimized — the frontier is the set of candidates no
+// other candidate beats on both at once.
+type Objectives struct {
+	// IPC is the arithmetic-mean committed IPC over the workload suite.
+	IPC float64 `json:"ipc"`
+	// Area is the total cluster-array silicon area in λ² from the
+	// Section 3.2 layout model.
+	Area float64 `json:"area"`
+}
+
+// Dominates reports whether o beats p: at least as good on both
+// objectives and strictly better on one.
+func (o Objectives) Dominates(p Objectives) bool {
+	if o.IPC < p.IPC || o.Area > p.Area {
+		return false
+	}
+	return o.IPC > p.IPC || o.Area < p.Area
+}
+
+// Point is one evaluated candidate.
+type Point struct {
+	// Candidate is the axis assignment that produced the config.
+	Candidate Candidate `json:"candidate"`
+	// Config is the materialized configuration name (the dse canonical
+	// name, which also pins the content hash).
+	Config string `json:"config"`
+	// Objectives are the measured scores.
+	Objectives Objectives `json:"objectives"`
+}
+
+// Frontier maintains the running Pareto-optimal set with dominance
+// pruning: adding a dominated point is a no-op, adding a dominating
+// point evicts everything it beats. Not safe for concurrent use.
+type Frontier struct {
+	points []Point
+}
+
+// Add offers a point to the frontier. It returns true when the point is
+// non-dominated (and is now a frontier member), false when an existing
+// member dominates it.
+func (f *Frontier) Add(p Point) bool {
+	kept := f.points[:0]
+	for _, q := range f.points {
+		if q.Objectives.Dominates(p.Objectives) {
+			return false // existing member beats p; nothing else can have been pruned yet
+		}
+		if !p.Objectives.Dominates(q.Objectives) {
+			kept = append(kept, q)
+		}
+	}
+	f.points = append(kept, p)
+	return true
+}
+
+// Points returns the frontier sorted by ascending area (and therefore,
+// for a true frontier, ascending IPC). The slice is a copy.
+func (f *Frontier) Points() []Point {
+	out := make([]Point, len(f.points))
+	copy(out, f.points)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Objectives.Area != out[j].Objectives.Area {
+			return out[i].Objectives.Area < out[j].Objectives.Area
+		}
+		return out[i].Objectives.IPC < out[j].Objectives.IPC
+	})
+	return out
+}
+
+// Len returns the current frontier size.
+func (f *Frontier) Len() int { return len(f.points) }
+
+// Covers reports whether any frontier member has objectives at least as
+// good as o on both axes (i.e. o would not strictly improve the
+// frontier).
+func (f *Frontier) Covers(o Objectives) bool {
+	for _, q := range f.points {
+		if q.Objectives.Dominates(o) || q.Objectives == o {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// State is the exploration state a Strategy proposes against. The engine
+// owns it; strategies only read it (and draw from Rand).
+type State struct {
+	// Space is the search domain.
+	Space *Space
+	// Rand is the seeded source all stochastic strategies must use, so a
+	// (space, strategy, seed) triple names a deterministic exploration.
+	Rand *rand.Rand
+	// Frontier is the running Pareto set.
+	Frontier *Frontier
+	// Evaluated maps candidate keys to their finished points.
+	Evaluated map[string]Point
+	// Seen marks every candidate key already proposed (evaluated,
+	// in-flight, skipped-invalid, or failed); strategies need not avoid
+	// them — the engine dedupes — but can use it to terminate.
+	Seen map[string]bool
+	// Round counts completed propose-evaluate cycles.
+	Round int
+}
+
+// Strategy proposes candidate batches. Returning an empty batch ends the
+// exploration. The engine dedupes against Seen and enforces the budget,
+// so strategies may over-propose freely.
+type Strategy interface {
+	// Name labels the strategy in reports and API responses.
+	Name() string
+	// Next returns the next batch to evaluate.
+	Next(st *State) []Candidate
+}
+
+// NewStrategy builds a strategy by name: "grid", "random", or "climb".
+// samples bounds the random strategy (0 means 32); the others ignore it.
+func NewStrategy(name string, samples int) (Strategy, error) {
+	switch name {
+	case "grid", "":
+		return &GridStrategy{}, nil
+	case "random":
+		if samples <= 0 {
+			samples = 32
+		}
+		return &RandomStrategy{Samples: samples}, nil
+	case "climb":
+		return &ClimberStrategy{}, nil
+	default:
+		return nil, fmt.Errorf("dse: unknown strategy %q (want grid, random, or climb)", name)
+	}
+}
+
+// GridStrategy proposes the exhaustive grid in one batch.
+type GridStrategy struct{}
+
+// Name implements Strategy.
+func (*GridStrategy) Name() string { return "grid" }
+
+// Next implements Strategy: every point once, then done.
+func (*GridStrategy) Next(st *State) []Candidate {
+	if st.Round > 0 {
+		return nil
+	}
+	return st.Space.Grid()
+}
+
+// RandomStrategy samples the space uniformly without replacement (the
+// engine dedupes repeats) until Samples distinct candidates have been
+// proposed or the space is exhausted.
+type RandomStrategy struct {
+	// Samples is the total number of distinct candidates to propose.
+	Samples int
+	// Batch is the proposal batch size. Default: 8.
+	Batch int
+}
+
+// Name implements Strategy.
+func (*RandomStrategy) Name() string { return "random" }
+
+// Next implements Strategy.
+func (r *RandomStrategy) Next(st *State) []Candidate {
+	batch := r.Batch
+	if batch <= 0 {
+		batch = 8
+	}
+	remaining := r.Samples - len(st.Seen)
+	if remaining <= 0 || len(st.Seen) >= st.Space.Size() {
+		return nil
+	}
+	if batch > remaining {
+		batch = remaining
+	}
+	return sampleDistinct(st.Space, st.Rand, batch, st.Seen)
+}
+
+// randomCandidate draws one uniform point of the space.
+func randomCandidate(s *Space, rng *rand.Rand) Candidate {
+	p := make(map[string]int, len(s.Axes))
+	for _, ax := range s.Axes {
+		p[ax.Name] = ax.Values[rng.Intn(len(ax.Values))]
+	}
+	return Candidate{Params: p}
+}
+
+// sampleDistinct draws up to n distinct candidates not in exclude, by
+// bounded rejection sampling: in a nearly-exhausted space most draws
+// repeat, so it gives up after a generous number of misses rather than
+// spinning — a short batch then simply ends that strategy phase early.
+func sampleDistinct(s *Space, rng *rand.Rand, n int, exclude map[string]bool) []Candidate {
+	var out []Candidate
+	picked := make(map[string]bool, n)
+	tries := 64 * n
+	for len(out) < n && tries > 0 {
+		tries--
+		c := randomCandidate(s, rng)
+		k := c.Key()
+		if exclude[k] || picked[k] {
+			continue
+		}
+		picked[k] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// ClimberStrategy is the adaptive search: it seeds with random points,
+// then repeatedly proposes the axis-neighbors of the current Pareto
+// frontier — an evolutionary hill-climb whose population is the frontier
+// itself. It converges when every neighbor of every frontier point has
+// been tried (the frontier is locally closed) or MaxRounds is hit.
+type ClimberStrategy struct {
+	// Seeds is the size of the random initial batch. Default: 4.
+	Seeds int
+	// MaxRounds bounds the climb. Default: 32.
+	MaxRounds int
+}
+
+// Name implements Strategy.
+func (*ClimberStrategy) Name() string { return "climb" }
+
+// Next implements Strategy.
+func (c *ClimberStrategy) Next(st *State) []Candidate {
+	seeds := c.Seeds
+	if seeds <= 0 {
+		seeds = 4
+	}
+	maxRounds := c.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 32
+	}
+	if st.Round >= maxRounds {
+		return nil
+	}
+	if st.Round == 0 {
+		return sampleDistinct(st.Space, st.Rand, seeds, nil)
+	}
+	var out []Candidate
+	picked := make(map[string]bool)
+	for _, p := range st.Frontier.Points() {
+		for _, n := range st.Space.Neighbors(p.Candidate) {
+			k := n.Key()
+			if st.Seen[k] || picked[k] {
+				continue
+			}
+			picked[k] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -6,8 +6,10 @@ package harness
 
 import (
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -198,8 +200,25 @@ func Aggregate(res map[Key]Run, config string, s Suite, metric Metric) float64 {
 }
 
 // Speedup computes the mean over the suite of per-program IPC ratios
-// (test/base - 1), the way the paper reports speedups.
+// (test/base - 1), the way the paper reports speedups. Programs whose
+// baseline run is degenerate (zero IPC — nothing committed, so the ratio
+// is undefined) are excluded from the mean and logged; use SpeedupDetail
+// to inspect them programmatically.
 func Speedup(res map[Key]Run, testCfg, baseCfg string, s Suite) float64 {
+	sp, degenerate := SpeedupDetail(res, testCfg, baseCfg, s)
+	if len(degenerate) > 0 {
+		log.Printf("harness: speedup %s vs %s (%s): excluded degenerate zero-IPC baseline runs: %s",
+			testCfg, baseCfg, s, strings.Join(degenerate, ", "))
+	}
+	return sp
+}
+
+// SpeedupDetail is Speedup plus an explicit marker for degenerate runs:
+// it returns the mean speedup over the well-defined programs and the
+// names of programs excluded because their baseline committed nothing
+// (IPC zero). A silent skip would inflate the aggregate by whatever the
+// broken program would have contributed; the caller can now detect it.
+func SpeedupDetail(res map[Key]Run, testCfg, baseCfg string, s Suite) (speedup float64, degenerate []string) {
 	progs := programsIn(s)
 	var sum float64
 	var n int
@@ -211,15 +230,16 @@ func Speedup(res map[Key]Run, testCfg, baseCfg string, s Suite) float64 {
 		}
 		bst, tst := b.Stats, t.Stats
 		if bst.IPC() == 0 {
+			degenerate = append(degenerate, p)
 			continue
 		}
 		sum += tst.IPC()/bst.IPC() - 1
 		n++
 	}
 	if n == 0 {
-		return 0
+		return 0, degenerate
 	}
-	return sum / float64(n)
+	return sum / float64(n), degenerate
 }
 
 // PaperConfigs returns the ten Table 3 configurations in the paper's order.

@@ -105,6 +105,98 @@ func TestGridDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestSpeedupDegenerateBaseline is the regression test for the
+// zero-IPC guard: a baseline run that committed nothing must be reported
+// as degenerate, not silently dropped from the mean.
+func TestSpeedupDegenerateBaseline(t *testing.T) {
+	cfgT := "Ring_test"
+	cfgB := "Conv_test"
+	mk := func(cycles, committed uint64) Run {
+		var r Run
+		r.Stats.Cycles = cycles
+		r.Stats.Committed = committed
+		return r
+	}
+	res := map[Key]Run{
+		// gzip (INT): healthy pair, test IPC 2.0 vs base 1.0.
+		{Config: cfgT, Program: "gzip"}: mk(1000, 2000),
+		{Config: cfgB, Program: "gzip"}: mk(1000, 1000),
+		// gcc (INT): baseline committed nothing — degenerate.
+		{Config: cfgT, Program: "gcc"}: mk(1000, 1500),
+		{Config: cfgB, Program: "gcc"}: mk(1000, 0),
+	}
+	sp, degenerate := SpeedupDetail(res, cfgT, cfgB, SuiteInt)
+	if len(degenerate) != 1 || degenerate[0] != "gcc" {
+		t.Fatalf("degenerate = %v, want [gcc]", degenerate)
+	}
+	if sp != 1.0 {
+		t.Errorf("speedup over the healthy program = %v, want 1.0", sp)
+	}
+	// Speedup (the logging wrapper) must agree on the value.
+	if got := Speedup(res, cfgT, cfgB, SuiteInt); got != sp {
+		t.Errorf("Speedup = %v, SpeedupDetail = %v", got, sp)
+	}
+	// All baselines degenerate: zero speedup, every program marked.
+	res[Key{Config: cfgB, Program: "gzip"}] = mk(1000, 0)
+	sp, degenerate = SpeedupDetail(res, cfgT, cfgB, SuiteInt)
+	if sp != 0 || len(degenerate) != 2 {
+		t.Errorf("all-degenerate: speedup %v, degenerate %v", sp, degenerate)
+	}
+}
+
+// TestExpandEdgeCases pins grid-expansion semantics at the edges: empty
+// axes expand to nothing, single-point axes to exactly the one request,
+// and duplicate configuration names are preserved verbatim (Expand does
+// not deduplicate — content-hash coalescing happens downstream).
+func TestExpandEdgeCases(t *testing.T) {
+	ring := core.MustPaperConfig(core.ArchRing, 4, 2, 1)
+	conv := core.MustPaperConfig(core.ArchConv, 4, 2, 1)
+
+	// Empty axes: no configs, no programs, or both.
+	if got := Expand(nil, []string{"gcc"}, 100, 0); len(got) != 0 {
+		t.Errorf("Expand(no configs) produced %d requests", len(got))
+	}
+	if got := Expand([]core.Config{ring}, nil, 100, 0); len(got) != 0 {
+		t.Errorf("Expand(no programs) produced %d requests", len(got))
+	}
+	if got := Expand(nil, nil, 100, 0); len(got) != 0 {
+		t.Errorf("Expand(nothing) produced %d requests", len(got))
+	}
+
+	// Single-point axes: exactly one request, fields threaded through.
+	one := Expand([]core.Config{ring}, []string{"gcc"}, 123, 45)
+	if len(one) != 1 {
+		t.Fatalf("single-point grid produced %d requests", len(one))
+	}
+	if one[0].Config.Name != ring.Name || one[0].Program != "gcc" ||
+		one[0].Insts != 123 || one[0].Warmup != 45 {
+		t.Errorf("single-point request wrong: %+v", one[0])
+	}
+
+	// Configuration-major order over a 2×2 grid.
+	grid := Expand([]core.Config{ring, conv}, []string{"gcc", "swim"}, 100, 0)
+	wantOrder := []Key{
+		{ring.Name, "gcc"}, {ring.Name, "swim"},
+		{conv.Name, "gcc"}, {conv.Name, "swim"},
+	}
+	for i, w := range wantOrder {
+		if grid[i].Config.Name != w.Config || grid[i].Program != w.Program {
+			t.Errorf("request %d is %s/%s, want %s/%s",
+				i, grid[i].Config.Name, grid[i].Program, w.Config, w.Program)
+		}
+	}
+
+	// Duplicate config names: Expand emits both verbatim — identical
+	// requests that downstream content-hashing coalesces into one run.
+	dup := Expand([]core.Config{ring, ring}, []string{"gcc"}, 100, 0)
+	if len(dup) != 2 {
+		t.Fatalf("duplicate-config grid produced %d requests", len(dup))
+	}
+	if dup[0] != dup[1] {
+		t.Errorf("duplicate configs expanded to different requests:\n%+v\n%+v", dup[0], dup[1])
+	}
+}
+
 func TestSuiteString(t *testing.T) {
 	if SuiteAll.String() != "AVERAGE" || SuiteInt.String() != "INT" || SuiteFP.String() != "FP" {
 		t.Fatal("suite labels wrong")

@@ -31,6 +31,16 @@ type Metrics struct {
 	// QueueRejected counts submissions refused because the job queue was
 	// full.
 	QueueRejected atomic.Uint64
+	// ExploresSubmitted counts accepted design-space explorations.
+	ExploresSubmitted atomic.Uint64
+	// ExplorePoints counts design points scored by explorations.
+	ExplorePoints atomic.Uint64
+	// ExploreSims counts program simulations run on behalf of
+	// explorations (cache misses from the exploration's point of view).
+	ExploreSims atomic.Uint64
+	// ExploreCacheHits counts exploration program runs answered without
+	// a new simulation.
+	ExploreCacheHits atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of the counters, JSON-encodable.
@@ -45,6 +55,34 @@ type Snapshot struct {
 	QueueRejected   uint64 `json:"queue_rejected"`
 	QueueLen        int    `json:"queue_len"`
 	Workers         int    `json:"workers"`
+
+	ExploresSubmitted uint64 `json:"explores_submitted"`
+	ExplorePoints     uint64 `json:"explore_points"`
+	ExploreSims       uint64 `json:"explore_sims"`
+	ExploreCacheHits  uint64 `json:"explore_cache_hits"`
+}
+
+// CacheHitRatio is the fraction of answered run submissions served from
+// the result store (0 before anything has been answered). The
+// denominator is answered work — cache hits plus finished simulations —
+// not RunsSubmitted, which also counts in-flight and deduplicated
+// submissions and would depress the ratio under load.
+func (s Snapshot) CacheHitRatio() float64 {
+	answered := s.CacheHits + s.RunsCompleted + s.RunsFailed
+	if answered == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(answered)
+}
+
+// ExploreCacheHitRatio is the fraction of exploration program runs that
+// cost no new simulation.
+func (s Snapshot) ExploreCacheHitRatio() float64 {
+	total := s.ExploreSims + s.ExploreCacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ExploreCacheHits) / float64(total)
 }
 
 // Snapshot captures the current counter values.
@@ -60,6 +98,11 @@ func (m *Metrics) snapshot(queueLen, workers int) Snapshot {
 		QueueRejected:   m.QueueRejected.Load(),
 		QueueLen:        queueLen,
 		Workers:         workers,
+
+		ExploresSubmitted: m.ExploresSubmitted.Load(),
+		ExplorePoints:     m.ExplorePoints.Load(),
+		ExploreSims:       m.ExploreSims.Load(),
+		ExploreCacheHits:  m.ExploreCacheHits.Load(),
 	}
 }
 
@@ -80,10 +123,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ringsimd_deduped_total", "Submissions coalesced onto in-flight runs.", "counter", snap.Deduped},
 		{"ringsimd_sweeps_submitted_total", "Sweep submissions accepted.", "counter", snap.SweepsSubmitted},
 		{"ringsimd_queue_rejected_total", "Submissions refused on a full queue.", "counter", snap.QueueRejected},
+		{"ringsimd_explores_submitted_total", "Design-space explorations accepted.", "counter", snap.ExploresSubmitted},
+		{"ringsimd_explore_points_total", "Design points scored by explorations.", "counter", snap.ExplorePoints},
+		{"ringsimd_explore_sims_total", "Simulations run on behalf of explorations.", "counter", snap.ExploreSims},
+		{"ringsimd_explore_cache_hits_total", "Exploration program runs served without simulating.", "counter", snap.ExploreCacheHits},
 		{"ringsimd_queue_len", "Jobs currently waiting in the queue.", "gauge", uint64(snap.QueueLen)},
 		{"ringsimd_workers", "Size of the simulation worker pool.", "gauge", uint64(snap.Workers)},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.val)
+	}
+	ratios := []struct {
+		name, help string
+		val        float64
+	}{
+		{"ringsimd_cache_hit_ratio", "Fraction of answered run submissions served from the result store.", snap.CacheHitRatio()},
+		{"ringsimd_explore_cache_hit_ratio", "Fraction of exploration program runs that cost no new simulation.", snap.ExploreCacheHitRatio()},
+	}
+	for _, r := range ratios {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", r.name, r.help, r.name, r.name, r.val)
 	}
 }

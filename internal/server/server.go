@@ -7,6 +7,8 @@
 //	GET  /v1/runs/{id}                             -> status + result
 //	POST /v1/sweeps   submit a (config × program) grid -> {id}
 //	GET  /v1/sweeps/{id}                           -> status + results
+//	POST /v1/explore  start a design-space exploration -> {id}
+//	GET  /v1/explore/{id}                          -> progress + Pareto frontier
 //	GET  /healthz     liveness + queue depth
 //	GET  /metrics     Prometheus counters
 //
@@ -56,6 +58,9 @@ type Options struct {
 	// MaxSweeps bounds the sweep registry, evicting oldest first.
 	// Default: 1024.
 	MaxSweeps int
+	// MaxExplores bounds the exploration registry, evicting oldest
+	// first. Default: 256.
+	MaxExplores int
 }
 
 // runStatus is the lifecycle of one submitted run.
@@ -80,9 +85,12 @@ type runState struct {
 	// this server instance.
 	cached bool
 	result results.Result
-	// refs counts unfinished sweeps referencing this run; a referenced
-	// run is never evicted from the registry.
+	// refs counts unfinished sweeps and waiting explorations referencing
+	// this run; a referenced run is never evicted from the registry.
 	refs int
+	// waiters are closed when the run turns terminal; explorations block
+	// on them instead of polling.
+	waiters []chan struct{}
 }
 
 // sweepState tracks one sweep submission. Until every member is
@@ -112,13 +120,16 @@ type Server struct {
 	closed       bool
 	runs         map[string]*runState
 	sweeps       map[string]*sweepState
+	explores     map[string]*exploreState
 	terminalKeys []string // eviction order for terminal runs
 	sweepOrder   []string // eviction order for sweeps
+	exploreOrder []string // eviction order for explorations
 	nextID       int
 
-	metrics  Metrics
-	wg       sync.WaitGroup // workers
-	feederWG sync.WaitGroup // sweep feeders
+	metrics   Metrics
+	wg        sync.WaitGroup // workers
+	feederWG  sync.WaitGroup // sweep feeders and explore enqueuers
+	exploreWG sync.WaitGroup // exploration drivers
 }
 
 // New starts the worker pool and returns a ready server.
@@ -138,18 +149,24 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxSweeps <= 0 {
 		opts.MaxSweeps = 1024
 	}
+	if opts.MaxExplores <= 0 {
+		opts.MaxExplores = 256
+	}
 	s := &Server{
-		opts:   opts,
-		jobs:   make(chan string, opts.QueueDepth),
-		quit:   make(chan struct{}),
-		runs:   make(map[string]*runState),
-		sweeps: make(map[string]*sweepState),
+		opts:     opts,
+		jobs:     make(chan string, opts.QueueDepth),
+		quit:     make(chan struct{}),
+		runs:     make(map[string]*runState),
+		sweeps:   make(map[string]*sweepState),
+		explores: make(map[string]*exploreState),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("POST /v1/explore", s.handleSubmitExplore)
+	s.mux.HandleFunc("GET /v1/explore/{id}", s.handleGetExplore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -177,9 +194,12 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	// closed now gates new submissions and feeders (both check it under
-	// s.mu), so after the feeders drain nothing can send on jobs.
+	// closed now gates new submissions, feeders, and exploration
+	// registrations (all check it under s.mu). Exploration drivers abort
+	// their in-flight waits on quit and register no new queue sends once
+	// closed, so after drivers and feeders drain nothing can send on jobs.
 	close(s.quit)
+	s.exploreWG.Wait()
 	s.feederWG.Wait()
 	close(s.jobs)
 	s.wg.Wait()
@@ -254,6 +274,10 @@ func (s *Server) finishLocked(st *runState, res results.Result, fromCache bool) 
 	}
 	st.cached = fromCache
 	st.result = res
+	for _, ch := range st.waiters {
+		close(ch)
+	}
+	st.waiters = nil
 	s.terminalKeys = append(s.terminalKeys, st.key)
 	s.evictRunsLocked()
 }
