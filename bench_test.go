@@ -4,274 +4,36 @@
 // as custom benchmark metrics (e.g. speedup-% for Figure 6) so that
 // `go test -bench=.` regenerates the evaluation; EXPERIMENTS.md records
 // the paper-vs-measured comparison.
+//
+// The benchmark bodies live in internal/bench so that cmd/benchrec can
+// run the same measurements and append them to the BENCH_<n>.json
+// performance trajectory (see docs/performance.md); the functions here
+// are thin `go test` entry points.
 package repro_test
 
 import (
 	"testing"
 
-	"repro/internal/bpred"
-	"repro/internal/cache"
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/interconnect"
-	"repro/internal/layout"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/bench"
 )
 
-// benchInsts is the per-program instruction budget for figure benchmarks;
-// small enough that a full-grid benchmark iteration stays in seconds,
-// large enough that the shapes are stable.
-const (
-	benchInsts  = 30_000
-	benchWarmup = 6_000
-)
-
-// mainGrid runs the ten Table 3 configurations over the full suite.
-func mainGrid(b *testing.B) map[harness.Key]harness.Run {
-	b.Helper()
-	res, err := harness.Grid(harness.PaperConfigs(), workload.Names(), benchInsts, benchWarmup)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return res
-}
-
-// BenchmarkTable1AreaModel regenerates the Table 1 block areas.
-func BenchmarkTable1AreaModel(b *testing.B) {
-	var blocks layout.Blocks
-	for i := 0; i < b.N; i++ {
-		blocks = layout.Compute(layout.DefaultConfig())
-	}
-	b.ReportMetric(blocks.FPU.Area, "FPU-λ²")
-	b.ReportMetric(blocks.RegFile.Area, "regfile-λ²")
-}
-
-// BenchmarkSection32Layout regenerates the layout distance analysis.
-func BenchmarkSection32Layout(b *testing.B) {
-	var d layout.Distances
-	for i := 0; i < b.N; i++ {
-		d = layout.Analyze(layout.DefaultConfig())
-	}
-	b.ReportMetric(d.UnifiedRingInt, "int-λ")
-	b.ReportMetric(d.UnifiedRingFP, "fp-λ")
-	b.ReportMetric(d.SplitRings, "split-λ")
-}
-
-// BenchmarkFig6Speedup regenerates Figure 6: speedup of Ring over Conv,
-// reported for the paper's headline configuration (8 clusters, 2 IW, 1
-// bus) as AVERAGE/INT/FP percentages.
-func BenchmarkFig6Speedup(b *testing.B) {
-	var avg, intS, fpS float64
-	for i := 0; i < b.N; i++ {
-		res := mainGrid(b)
-		avg = harness.Speedup(res, "Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW", harness.SuiteAll)
-		intS = harness.Speedup(res, "Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW", harness.SuiteInt)
-		fpS = harness.Speedup(res, "Ring_8clus_1bus_2IW", "Conv_8clus_1bus_2IW", harness.SuiteFP)
-	}
-	b.ReportMetric(100*avg, "speedup-avg-%")
-	b.ReportMetric(100*intS, "speedup-int-%")
-	b.ReportMetric(100*fpS, "speedup-fp-%")
-}
-
-// BenchmarkFig7Comms regenerates Figure 7: communications per instruction
-// for the 8-cluster 1-bus 2IW pair.
-func BenchmarkFig7Comms(b *testing.B) {
-	var ring, conv float64
-	metric := func(s *core.Stats) float64 { return s.CommsPerInst() }
-	for i := 0; i < b.N; i++ {
-		res := mainGrid(b)
-		ring = harness.Aggregate(res, "Ring_8clus_1bus_2IW", harness.SuiteAll, metric)
-		conv = harness.Aggregate(res, "Conv_8clus_1bus_2IW", harness.SuiteAll, metric)
-	}
-	b.ReportMetric(ring, "ring-comms/inst")
-	b.ReportMetric(conv, "conv-comms/inst")
-}
-
-// BenchmarkFig8Distance regenerates Figure 8: average hop distance per
-// communication.
-func BenchmarkFig8Distance(b *testing.B) {
-	var ring, conv float64
-	metric := func(s *core.Stats) float64 { return s.AvgCommDistance() }
-	for i := 0; i < b.N; i++ {
-		res := mainGrid(b)
-		ring = harness.Aggregate(res, "Ring_8clus_1bus_2IW", harness.SuiteAll, metric)
-		conv = harness.Aggregate(res, "Conv_8clus_1bus_2IW", harness.SuiteAll, metric)
-	}
-	b.ReportMetric(ring, "ring-hops")
-	b.ReportMetric(conv, "conv-hops")
-}
-
-// BenchmarkFig9Contention regenerates Figure 9: bus-contention delay per
-// communication.
-func BenchmarkFig9Contention(b *testing.B) {
-	var ring, conv float64
-	metric := func(s *core.Stats) float64 { return s.AvgCommWait() }
-	for i := 0; i < b.N; i++ {
-		res := mainGrid(b)
-		ring = harness.Aggregate(res, "Ring_8clus_1bus_2IW", harness.SuiteFP, metric)
-		conv = harness.Aggregate(res, "Conv_8clus_1bus_2IW", harness.SuiteFP, metric)
-	}
-	b.ReportMetric(ring, "ring-wait-cyc")
-	b.ReportMetric(conv, "conv-wait-cyc")
-}
-
-// BenchmarkFig10NReady regenerates Figure 10: NREADY workload imbalance.
-func BenchmarkFig10NReady(b *testing.B) {
-	var ring, conv float64
-	metric := func(s *core.Stats) float64 { return s.AvgNReady() }
-	for i := 0; i < b.N; i++ {
-		res := mainGrid(b)
-		ring = harness.Aggregate(res, "Ring_8clus_1bus_1IW", harness.SuiteAll, metric)
-		conv = harness.Aggregate(res, "Conv_8clus_1bus_1IW", harness.SuiteAll, metric)
-	}
-	b.ReportMetric(ring, "ring-nready")
-	b.ReportMetric(conv, "conv-nready")
-}
-
-// BenchmarkFig11Distribution regenerates Figure 11: the evenness of the
-// ring machine's per-cluster dispatch distribution, reported as the
-// maximum cluster share across the suite (12.5% = perfectly even on 8
-// clusters).
-func BenchmarkFig11Distribution(b *testing.B) {
-	var worst float64
-	for i := 0; i < b.N; i++ {
-		res := mainGrid(b)
-		worst = 0
-		for _, p := range workload.Names() {
-			r := res[harness.Key{Config: "Ring_8clus_1bus_2IW", Program: p}]
-			st := r.Stats
-			for c := 0; c < 8; c++ {
-				if s := st.ClusterShare(c); s > worst {
-					worst = s
-				}
-			}
-		}
-	}
-	b.ReportMetric(100*worst, "max-cluster-share-%")
-}
-
-// BenchmarkFig12WireScaling regenerates Figure 12: Ring-over-Conv speedup
-// with 2-cycle hops (1 bus, 8 clusters, 2IW).
-func BenchmarkFig12WireScaling(b *testing.B) {
-	var avg, fp float64
-	for i := 0; i < b.N; i++ {
-		res, err := harness.Grid(harness.Hop2Configs(), workload.Names(), benchInsts, benchWarmup)
-		if err != nil {
-			b.Fatal(err)
-		}
-		avg = harness.Speedup(res, "Ring_8clus_1bus_2IW_2cyclehop", "Conv_8clus_1bus_2IW_2cyclehop", harness.SuiteAll)
-		fp = harness.Speedup(res, "Ring_8clus_1bus_2IW_2cyclehop", "Conv_8clus_1bus_2IW_2cyclehop", harness.SuiteFP)
-	}
-	b.ReportMetric(100*avg, "speedup-avg-%")
-	b.ReportMetric(100*fp, "speedup-fp-%")
-}
-
-// BenchmarkFig13SSASpeedup regenerates Figure 13: Ring+SSA over Conv+SSA
-// on the paper's quoted configuration (8 clusters, 1IW, 2 buses).
-func BenchmarkFig13SSASpeedup(b *testing.B) {
-	var avg, intS, fpS float64
-	for i := 0; i < b.N; i++ {
-		res, err := harness.Grid(harness.SSAConfigs(), workload.Names(), benchInsts, benchWarmup)
-		if err != nil {
-			b.Fatal(err)
-		}
-		avg = harness.Speedup(res, "Ring_8clus_2bus_1IW+SSA", "Conv_8clus_2bus_1IW+SSA", harness.SuiteAll)
-		intS = harness.Speedup(res, "Ring_8clus_2bus_1IW+SSA", "Conv_8clus_2bus_1IW+SSA", harness.SuiteInt)
-		fpS = harness.Speedup(res, "Ring_8clus_2bus_1IW+SSA", "Conv_8clus_2bus_1IW+SSA", harness.SuiteFP)
-	}
-	b.ReportMetric(100*avg, "speedup-avg-%")
-	b.ReportMetric(100*intS, "speedup-int-%")
-	b.ReportMetric(100*fpS, "speedup-fp-%")
-}
-
-// BenchmarkFig14SSANReady regenerates Figure 14: NREADY under SSA.
-func BenchmarkFig14SSANReady(b *testing.B) {
-	var ring, conv float64
-	metric := func(s *core.Stats) float64 { return s.AvgNReady() }
-	for i := 0; i < b.N; i++ {
-		res, err := harness.Grid(harness.SSAConfigs(), workload.Names(), benchInsts, benchWarmup)
-		if err != nil {
-			b.Fatal(err)
-		}
-		ring = harness.Aggregate(res, "Ring_8clus_1bus_1IW+SSA", harness.SuiteAll, metric)
-		conv = harness.Aggregate(res, "Conv_8clus_1bus_1IW+SSA", harness.SuiteAll, metric)
-	}
-	b.ReportMetric(ring, "ring-ssa-nready")
-	b.ReportMetric(conv, "conv-ssa-nready")
-}
+func BenchmarkTable1AreaModel(b *testing.B)   { bench.Table1AreaModel(b) }
+func BenchmarkSection32Layout(b *testing.B)   { bench.Section32Layout(b) }
+func BenchmarkFig6Speedup(b *testing.B)       { bench.Fig6Speedup(b) }
+func BenchmarkFig7Comms(b *testing.B)         { bench.Fig7Comms(b) }
+func BenchmarkFig8Distance(b *testing.B)      { bench.Fig8Distance(b) }
+func BenchmarkFig9Contention(b *testing.B)    { bench.Fig9Contention(b) }
+func BenchmarkFig10NReady(b *testing.B)       { bench.Fig10NReady(b) }
+func BenchmarkFig11Distribution(b *testing.B) { bench.Fig11Distribution(b) }
+func BenchmarkFig12WireScaling(b *testing.B)  { bench.Fig12WireScaling(b) }
+func BenchmarkFig13SSASpeedup(b *testing.B)   { bench.Fig13SSASpeedup(b) }
+func BenchmarkFig14SSANReady(b *testing.B)    { bench.Fig14SSANReady(b) }
 
 // --- component micro-benchmarks ---
 
-// BenchmarkSimulatorThroughput measures raw simulation speed in simulated
-// instructions per wall-clock second for the headline configuration.
-func BenchmarkSimulatorThroughput(b *testing.B) {
-	prof, err := workload.ByName("swim")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
-	b.ResetTimer()
-	total := uint64(0)
-	for i := 0; i < b.N; i++ {
-		gen, _ := workload.NewGenerator(prof)
-		m, err := core.New(cfg, trace.NewLimit(gen, 50_000))
-		if err != nil {
-			b.Fatal(err)
-		}
-		st, err := m.Run(0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		total += st.Committed
-	}
-	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simulated-inst/s")
-}
-
-// BenchmarkWorkloadGenerator measures trace generation speed.
-func BenchmarkWorkloadGenerator(b *testing.B) {
-	prof, _ := workload.ByName("gcc")
-	gen, err := workload.NewGenerator(prof)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := gen.Next(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkBusReservation measures the inner-loop cost of the slot
-// calendar (steady state must not allocate).
-func BenchmarkBusReservation(b *testing.B) {
-	bus := interconnect.NewBus(8, 1, interconnect.Forward)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		now := uint64(i)
-		bus.Advance(now)
-		if bus.CanInject(now, i%8, (i+3)%8) {
-			bus.Inject(now, i%8, (i+3)%8)
-		}
-	}
-}
-
-// BenchmarkPredictor measures branch predictor train+predict throughput.
-func BenchmarkPredictor(b *testing.B) {
-	p := bpred.New(bpred.DefaultConfig())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		pc := uint64(0x1000 + (i%64)*4)
-		p.Update(pc, i%3 != 0, pc+16)
-	}
-}
-
-// BenchmarkCacheAccess measures the data-cache timing-model throughput.
-func BenchmarkCacheAccess(b *testing.B) {
-	h := cache.NewHierarchy(cache.DefaultHierarchy())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h.DataAccess(uint64(i*64)&0xFFFFF, i%4 == 0)
-	}
-}
+func BenchmarkSimulatorThroughput(b *testing.B) { bench.SimulatorThroughput(b) }
+func BenchmarkWorkloadGenerator(b *testing.B)   { bench.WorkloadGenerator(b) }
+func BenchmarkBusReservation(b *testing.B)      { bench.BusReservation(b) }
+func BenchmarkPredictor(b *testing.B)           { bench.Predictor(b) }
+func BenchmarkCacheAccess(b *testing.B)         { bench.CacheAccess(b) }
+func BenchmarkMachineReset(b *testing.B)        { bench.MachineReset(b) }

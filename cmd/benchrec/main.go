@@ -1,0 +1,115 @@
+// Command benchrec runs the repository's figure benchmarks and appends a
+// BENCH_<n>.json snapshot to the performance trajectory. Each snapshot
+// records wall-clock, allocation and custom figure metrics for the
+// selected benchmarks plus environment metadata, so successive files
+// (BENCH_1.json, BENCH_2.json, ...) show how simulator performance moves
+// from PR to PR.
+//
+// Usage:
+//
+//	benchrec [-out DIR] [-benchtime 2x] [-all] [-bench NAME[,NAME...]]
+//	         [-note TEXT]
+//
+// By default only the headline pair (Fig6Speedup, SimulatorThroughput)
+// runs; -all records the full suite, -bench a named subset. -benchtime
+// takes the same values as `go test -benchtime` (e.g. "1x" for a smoke
+// run, "3x" or "2s" for steadier numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	testing.Init() // registers -test.* flags so benchtime is settable
+	out := flag.String("out", ".", "directory receiving the BENCH_<n>.json snapshot")
+	benchtime := flag.String("benchtime", "2x", "per-benchmark time or iteration budget (go test -benchtime syntax)")
+	all := flag.Bool("all", false, "record the full benchmark suite, not just the headline pair")
+	names := flag.String("bench", "", "comma-separated benchmark names to record (overrides -all)")
+	note := flag.String("note", "", "free-form note stored in the snapshot")
+	flag.Parse()
+
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec: bad -benchtime:", err)
+		os.Exit(2)
+	}
+
+	specs, err := selectSpecs(*all, *names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(2)
+	}
+
+	results := make([]bench.Result, 0, len(specs))
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "benchrec: running %s...\n", s.Name)
+		r, err := bench.Run(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrec:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrec:   %d iter, %.0f ns/op, %d allocs/op\n",
+			r.Iterations, r.NsPerOp, r.AllocsPerOp)
+		results = append(results, r)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	path, err := bench.NextSnapshotPath(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	if err := bench.WriteSnapshot(path, bench.NewFile(*note, results)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}
+
+// selectSpecs resolves the benchmark selection flags.
+func selectSpecs(all bool, names string) ([]bench.Spec, error) {
+	specs := bench.Specs()
+	if names != "" {
+		byName := make(map[string]bench.Spec, len(specs))
+		for _, s := range specs {
+			byName[s.Name] = s
+		}
+		var sel []bench.Spec
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			s, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q (known: %s)", n, specNames(specs))
+			}
+			sel = append(sel, s)
+		}
+		return sel, nil
+	}
+	if all {
+		return specs, nil
+	}
+	var sel []bench.Spec
+	for _, s := range specs {
+		if s.Headline {
+			sel = append(sel, s)
+		}
+	}
+	return sel, nil
+}
+
+func specNames(specs []bench.Spec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
+}

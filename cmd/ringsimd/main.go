@@ -9,11 +9,16 @@
 // Usage:
 //
 //	ringsimd [-addr :8080] [-workers N] [-queue N]
-//	         [-cache-dir DIR] [-mem-entries N]
+//	         [-cache-dir DIR] [-mem-entries N] [-pprof-addr HOST:PORT]
 //
 // With -cache-dir the cache is tiered: an in-memory LRU in front of an
 // on-disk content-addressed store that survives restarts. Without it,
 // results live only in the LRU.
+//
+// With -pprof-addr (off by default) a second HTTP listener serves
+// net/http/pprof on that address, so service-side hot spots can be
+// profiled in place: `go tool pprof http://HOST:PORT/debug/pprof/profile`.
+// Bind it to localhost; the profiling surface is unauthenticated.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,7 +44,12 @@ func main() {
 	queue := flag.Int("queue", 256, "job queue depth (single runs beyond it get 503; sweeps of any size trickle through)")
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
 	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	store, desc, err := buildStore(*cacheDir, *memEntries)
 	if err != nil {
@@ -71,6 +82,23 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("ringsimd: ", err)
 		}
+	}
+}
+
+// servePprof exposes the runtime profiling endpoints on their own
+// listener (never the API mux, so the main port stays clean). Registered
+// explicitly rather than via the net/http/pprof side-effect import so
+// nothing leaks onto http.DefaultServeMux.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("ringsimd: pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("ringsimd: pprof listener failed: %v", err)
 	}
 }
 

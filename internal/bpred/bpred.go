@@ -104,6 +104,53 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Reset returns the predictor to its just-constructed state for cfg,
+// reusing the existing tables when their sizes match. Validation matches
+// New.
+func (p *Predictor) Reset(cfg Config) {
+	for _, v := range []int{cfg.GshareEntries, cfg.BimodalEntries, cfg.SelectorEntries, cfg.BTBEntries, cfg.BTBAssoc} {
+		if !isPow2(v) {
+			panic("bpred: table sizes must be powers of two")
+		}
+	}
+	resize := func(s []Counter, n int) []Counter {
+		if cap(s) < n {
+			return make([]Counter, n)
+		}
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	p.cfg = cfg
+	p.gshare = resize(p.gshare, cfg.GshareEntries)
+	p.bimodal = resize(p.bimodal, cfg.BimodalEntries)
+	p.selector = resize(p.selector, cfg.SelectorEntries)
+	p.history = 0
+	if cap(p.btbTags) < cfg.BTBEntries {
+		p.btbTags = make([]uint64, cfg.BTBEntries)
+		p.btbTgts = make([]uint64, cfg.BTBEntries)
+		p.btbLRU = make([]uint8, cfg.BTBEntries)
+	} else {
+		p.btbTags = p.btbTags[:cfg.BTBEntries]
+		p.btbTgts = p.btbTgts[:cfg.BTBEntries]
+		p.btbLRU = p.btbLRU[:cfg.BTBEntries]
+		for i := range p.btbTags {
+			p.btbTags[i], p.btbTgts[i], p.btbLRU[i] = 0, 0, 0
+		}
+	}
+	p.btbSets = cfg.BTBEntries / cfg.BTBAssoc
+	p.btbAssoc = cfg.BTBAssoc
+	p.Lookups, p.DirMispreds, p.BTBMisses, p.TakenBridges = 0, 0, 0, 0
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.selector {
+		p.selector[i] = 2
+	}
+}
+
 // Result describes one prediction.
 type Result struct {
 	// PredTaken is the predicted direction.

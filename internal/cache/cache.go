@@ -8,7 +8,10 @@
 // the L1 fill time plus the L2 access, and an L2 miss adds memory latency.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -86,13 +89,38 @@ func New(cfg Config) *Cache {
 		dirty: make([]bool, lines),
 		lru:   make([]uint32, lines),
 	}
-	for sh := uint(0); ; sh++ {
-		if 1<<sh == cfg.LineBytes {
-			c.lineShift = sh
-			break
+	c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+	return c
+}
+
+// Reset returns the cache to its just-constructed state for cfg, reusing
+// the line arrays when the geometry allows. Panics on invalid
+// configuration, like New.
+func (c *Cache) Reset(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if cap(c.tags) < lines {
+		c.tags = make([]uint64, lines)
+		c.dirty = make([]bool, lines)
+		c.lru = make([]uint32, lines)
+	} else {
+		c.tags = c.tags[:lines]
+		c.dirty = c.dirty[:lines]
+		c.lru = c.lru[:lines]
+		for i := range c.tags {
+			c.tags[i] = 0
+			c.dirty[i] = false
+			c.lru[i] = 0
 		}
 	}
-	return c
+	c.cfg = cfg
+	c.sets = lines / cfg.Assoc
+	c.assoc = cfg.Assoc
+	c.lruClock = 0
+	c.stats = Stats{}
+	c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
 }
 
 // Stats returns a copy of the access counters.
@@ -180,6 +208,25 @@ type HierarchyConfig struct {
 	ClusterTransit int
 }
 
+// Validate reports the first configuration error across the hierarchy.
+func (h *HierarchyConfig) Validate() error {
+	for _, c := range []*Config{&h.L1I, &h.L1D, &h.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if h.L2MissLatency < 0 || h.L2InterchunkLatency < 0 {
+		return fmt.Errorf("cache: negative L2 latency")
+	}
+	if h.DCachePorts < 1 {
+		return fmt.Errorf("cache: %d D-cache ports (need >= 1)", h.DCachePorts)
+	}
+	if h.ClusterTransit < 0 {
+		return fmt.Errorf("cache: negative cluster transit latency")
+	}
+	return nil
+}
+
 // DefaultHierarchy matches Table 2: 64KB 2-way 32B L1I (1 cycle); 32KB
 // 4-way 32B L1D (2 cycles, 4 ports); 512KB 4-way 64B unified L2 (10 cycles
 // hit, 100 miss, 2 interchunk); 1-cycle transit to/from the D-cache.
@@ -211,6 +258,15 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		l1d: New(cfg.L1D),
 		l2:  New(cfg.L2),
 	}
+}
+
+// Reset returns the hierarchy to its just-constructed state for cfg,
+// reusing the level arrays where possible.
+func (h *Hierarchy) Reset(cfg HierarchyConfig) {
+	h.cfg = cfg
+	h.l1i.Reset(cfg.L1I)
+	h.l1d.Reset(cfg.L1D)
+	h.l2.Reset(cfg.L2)
 }
 
 // Config returns the hierarchy configuration.

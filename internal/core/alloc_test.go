@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSteadyStateAllocations pins the allocation budget of the hot cycle
+// loop: once the machine is warm (event-calendar slices, ready lists,
+// value-table slab and waiter lists at their high-water marks), stepping
+// must not allocate. The budget tolerates a handful of stragglers (a
+// slice crossing a new high-water mark) but fails on any per-cycle or
+// per-instruction allocation pattern.
+func TestSteadyStateAllocations(t *testing.T) {
+	prof, err := workload.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := trace.Collect(trace.NewLimit(gen, 120_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(MustPaperConfig(ArchRing, 8, 2, 1), trace.NewSlice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: grow every internal buffer to its steady-state size.
+	for i := 0; i < 30_000; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const stepsPerRun = 5_000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < stepsPerRun; i++ {
+			if err := m.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.Done() {
+			t.Fatal("trace exhausted during measurement; enlarge the collected slice")
+		}
+	})
+	// The bound tolerates rare high-water-mark growth (a calendar slot or
+	// waiter list exceeding its previous capacity) but is ~3 orders of
+	// magnitude below a per-instruction allocation pattern: 5000 cycles
+	// commit ~7000 instructions here.
+	if avg > 16 {
+		t.Fatalf("steady-state cycle loop allocates: %.1f allocs per %d cycles (want <= 16)", avg, stepsPerRun)
+	}
+}

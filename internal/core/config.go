@@ -205,6 +205,11 @@ func (c *Config) Validate() error {
 	case c.SteerLatency < 0:
 		return fmt.Errorf("core: negative steer latency")
 	}
+	// Cache geometry (notably power-of-two line sizes: the fetch stage
+	// derives its line shift from L1I.LineBytes at construction).
+	if err := c.Mem.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 

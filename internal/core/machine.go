@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -22,10 +23,11 @@ const (
 	robDone                    // completed, awaiting commit
 )
 
-// robEntry is one in-flight instruction.
+// robEntry is one in-flight instruction. Kept lean: fields the back end
+// never reads (PC, branch direction/target — resolved at fetch in this
+// trace-driven model) stay in the fetch queue and are not carried along.
 type robEntry struct {
 	seq     uint64
-	pc      uint64
 	class   isa.Class
 	cluster int8
 	state   robState
@@ -36,21 +38,41 @@ type robEntry struct {
 	prevVal  valueID
 	destKind isa.RegFileKind
 
+	// wakeup bookkeeping: waitSrcs counts sources whose availability
+	// cycle in this entry's cluster is still unknown; readyAt is the
+	// latest known availability cycle over the resolved sources. When
+	// waitSrcs reaches zero the entry is scheduled into the issue
+	// calendar at readyAt and never re-examined before then.
+	waitSrcs int8
+	readyAt  uint64
+
 	// memory
 	effAddr uint64
 	hasLSQ  bool
 	lsqIdx  uint64
+	// hasDep marks a load whose nearest older same-address store was
+	// identified at dispatch (depLSQ); issue then checks that single
+	// entry instead of rescanning the LSQ every attempt.
+	hasDep bool
+	depLSQ uint64
 
 	// branch
-	taken      bool
-	target     uint64
 	mispredict bool
 }
 
-// fetchEntry is one instruction in the fetch/decode queue.
+// fetchEntry is one decoded instruction in the fetch/decode queue: just
+// the fields the back end consumes, not the full trace record (branch
+// direction and target are resolved at fetch in this trace-driven model,
+// and the PC only feeds the predictor and I-cache there).
 type fetchEntry struct {
-	inst       isa.Inst
+	seq        uint64
+	effAddr    uint64
 	readyAt    uint64 // earliest dispatch cycle (decode + steer latency)
+	src        [2]isa.Reg
+	dest       isa.Reg
+	class      isa.Class
+	numSrcs    uint8
+	writesReg  bool
 	mispredict bool
 }
 
@@ -69,6 +91,11 @@ type commEntry struct {
 	src, dst   int8
 	readySince uint64 // first cycle observed ready (0 = not yet ready)
 	haveReady  bool
+	// eligibleAt is the cycle the value becomes readable in the source
+	// cluster (neverAvail while unknown; stamped by the value wakeup).
+	// The per-cycle bus arbitration scan tests this single field instead
+	// of dereferencing the value table.
+	eligibleAt uint64
 }
 
 // execEvent is a scheduled completion.
@@ -77,33 +104,107 @@ type execEvent struct {
 	cycle  uint64
 }
 
+// iqSide is one cluster's issue buffer for one datapath side. Occupancy
+// (count) covers both the entries still waiting for operands — tracked
+// through value wakeup lists and the issue calendar, never scanned — and
+// the operand-ready entries in the ready list, kept sorted oldest-first.
+type iqSide struct {
+	cap   int
+	count int
+	ready []uint64 // ROB indices, ascending (program order)
+}
+
+// insertReady adds a ROB index to the ready list, keeping it sorted. A
+// woken entry may be older than entries already ready, so this is a
+// sorted insert, not an append; the list is small (bounded by cap).
+func (q *iqSide) insertReady(idx uint64) {
+	r := q.ready
+	lo, hi := 0, len(r)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r[mid] < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r = append(r, 0)
+	copy(r[lo+1:], r[lo:])
+	r[lo] = idx
+	q.ready = r
+}
+
+// removeReady deletes the i-th ready entry, preserving order.
+func (q *iqSide) removeReady(i int) {
+	copy(q.ready[i:], q.ready[i+1:])
+	q.ready = q.ready[:len(q.ready)-1]
+}
+
 // eventHorizon is the completion calendar depth; it must exceed the
-// longest execution latency (an L2 miss plus transit is ~120 cycles).
+// longest execution latency (an L2 miss plus transit is ~120 cycles) and
+// the bus reservation window (a scheduled wakeup is at most a full-ring
+// transit away).
 const eventHorizon = 512
 
 // Machine is one simulated processor. Construct with New, drive with Run
-// (or Step for tests). Not safe for concurrent use; run one Machine per
-// goroutine.
+// (or Step for tests). A machine can be recycled across runs with Reset,
+// which reuses every internal allocation it can. Not safe for concurrent
+// use; run one Machine per goroutine.
 type Machine struct {
-	cfg    Config
-	stream trace.Stream
-	alg    steering.Algorithm
-	files  *regfile.Files
-	fabric *interconnect.Fabric
-	pred   *bpred.Predictor
-	mem    *cache.Hierarchy
+	cfg             Config
+	statelessChoose bool
+	stream          trace.Stream
+	// sliceSrc is set when stream is a materialized *trace.Slice; fetch
+	// then reads instructions by reference instead of copying each
+	// record through the Stream interface.
+	sliceSrc *trace.Slice
+	alg      steering.Algorithm
+	files    *regfile.Files
+	fabric   *interconnect.Fabric
+	pred     *bpred.Predictor
+	mem      *cache.Hierarchy
 
 	vals      valueTable
 	renameMap [2][isa.NumArchRegs]valueID
 
+	// minDist caches fabric.MinDistances() (n×n, row-major by source);
+	// visTable[c] caches visibleCluster(c). Both are per-operand lookups
+	// on the dispatch path.
+	minDist  []int8
+	visTable [regfile.MaxClusters]int8
+
 	rob    *queue.Ring[robEntry]
 	fetchQ *queue.Ring[fetchEntry]
 	lsq    *queue.Ring[lsqEntry]
-	iqInt  []*queue.Bounded[uint64] // per cluster, ROB indices
-	iqFP   []*queue.Bounded[uint64]
-	commQ  []*queue.Bounded[commEntry]
+	// lastStore maps a data address to the LSQ index of the youngest
+	// store to it, so load dispatch finds its forwarding dependency in
+	// one lookup (entries go stale when the store commits; liveness is
+	// re-checked against lsq.Head()).
+	lastStore map[uint64]uint64
+	iqInt     []iqSide // per cluster
+	iqFP      []iqSide
+	// readyCount is the total entries across all ready lists; a cycle
+	// with nothing ready (and no wakeups due) skips the issue pass.
+	// readyMaskInt/FP track which clusters have a non-empty ready list,
+	// so the pass visits only those.
+	readyCount   int
+	readyMaskInt uint32
+	readyMaskFP  uint32
+	commQ        []*queue.Bounded[commEntry]
+	// commNextEligible[c] is a lower bound on the earliest eligibility
+	// cycle of any entry in commQ[c] (neverAvail when empty); bus
+	// arbitration skips the cluster's scan entirely while it lies in the
+	// future. Pushes and wakeup stamps lower it; a completed scan
+	// tightens it. commGlobalEligible is the minimum over clusters, so a
+	// cycle with no eligible communication anywhere skips the whole
+	// arbitration pass.
+	commNextEligible   []uint64
+	commGlobalEligible uint64
 
 	events [eventHorizon][]execEvent
+	// iqCal is the issue-readiness calendar: slot c%eventHorizon holds
+	// the ROB indices whose operands all become readable at cycle c.
+	iqCal [eventHorizon][]uint64
 
 	// multDivBusyUntil[c][side][unit]: the mult/div units (divides are
 	// non-pipelined and occupy their unit to completion).
@@ -111,12 +212,20 @@ type Machine struct {
 
 	now uint64
 
+	// steerReq is the per-dispatch steering request, kept on the machine
+	// so the interface call does not force a heap allocation per
+	// instruction.
+	steerReq steering.Request
+
 	// front-end state
-	pendingInst    *isa.Inst // fetched but not yet enqueued (stall overflow)
-	fetchBlocked   bool      // waiting for a mispredicted branch to resolve
+	pendingInst    isa.Inst // fetched but not yet enqueued (stall overflow)
+	scratchInst    isa.Inst // staging buffer for interface-stream fetches
+	havePending    bool
+	fetchBlocked   bool // waiting for a mispredicted branch to resolve
 	fetchResumeAt  uint64
 	lastFetchLine  uint64
 	haveFetchLine  bool
+	lineShift      uint // log2(L1I line size), fixed at construction
 	streamDone     bool
 	lastCommitAt   uint64
 	dcachePortsUse int
@@ -129,23 +238,63 @@ type Machine struct {
 // New builds a machine over the given instruction stream. The steering
 // algorithm is chosen from cfg (Ring/Conv × enhanced/SSA).
 func New(cfg Config, stream trace.Stream) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reset(cfg, stream); err != nil {
 		return nil, err
 	}
-	m := &Machine{
-		cfg:    cfg,
-		stream: stream,
-		files:  regfile.New(cfg.Clusters, cfg.RegsInt, cfg.RegsFP),
-		pred:   bpred.New(cfg.Bpred),
-		mem:    cache.NewHierarchy(cfg.Mem),
-		rob:    queue.NewRing[robEntry](cfg.ROBSize),
-		fetchQ: queue.NewRing[fetchEntry](cfg.FetchQSize),
-		lsq:    queue.NewRing[lsqEntry](cfg.LSQSize),
+	return m, nil
+}
+
+// Reset rebuilds the machine for a fresh run of cfg over stream, reusing
+// the previous run's allocations wherever the configuration allows. A
+// reset machine is observationally identical to one built with New — the
+// recycled slabs carry no state across runs.
+func (m *Machine) Reset(cfg Config, stream trace.Stream) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
+	m.cfg = cfg
+	m.stream = stream
+	m.sliceSrc, _ = stream.(*trace.Slice)
+
+	if m.files == nil {
+		m.files = regfile.New(cfg.Clusters, cfg.RegsInt, cfg.RegsFP)
+	} else {
+		m.files.Reset(cfg.Clusters, cfg.RegsInt, cfg.RegsFP)
+	}
+	if m.pred == nil {
+		m.pred = bpred.New(cfg.Bpred)
+	} else {
+		m.pred.Reset(cfg.Bpred)
+	}
+	if m.mem == nil {
+		m.mem = cache.NewHierarchy(cfg.Mem)
+	} else {
+		m.mem.Reset(cfg.Mem)
+	}
+	m.rob = queue.ResetRing(m.rob, cfg.ROBSize)
+	m.fetchQ = queue.ResetRing(m.fetchQ, cfg.FetchQSize)
+	m.lsq = queue.ResetRing(m.lsq, cfg.LSQSize)
+	if m.lastStore == nil {
+		m.lastStore = make(map[uint64]uint64, 1024)
+	} else {
+		clear(m.lastStore)
+	}
+
 	// Ring runs all buses forward; Conv's second bus runs backward
 	// (Section 4.2).
 	opposed := cfg.Arch == ArchConv
-	m.fabric = interconnect.NewFabric(cfg.Clusters, cfg.Buses, cfg.HopLatency, opposed)
+	if m.fabric == nil || !m.fabric.Reset(cfg.Clusters, cfg.Buses, cfg.HopLatency, opposed) {
+		m.fabric = interconnect.NewFabric(cfg.Clusters, cfg.Buses, cfg.HopLatency, opposed)
+	}
+	m.minDist = m.fabric.MinDistances()
+	for c := 0; c < cfg.Clusters; c++ {
+		vc := c
+		if cfg.Arch == ArchRing {
+			vc = (c + 1) % cfg.Clusters
+		}
+		m.visTable[c] = int8(vc)
+	}
 
 	switch {
 	case cfg.Steer == SteerSimple:
@@ -155,12 +304,64 @@ func New(cfg Config, stream trace.Stream) (*Machine, error) {
 	default:
 		m.alg = steering.NewConv(cfg.Clusters, cfg.Conv)
 	}
+	// Ring and Conv choices are pure functions of machine state; SSA
+	// mutates its round-robin counter inside Choose, which constrains the
+	// dispatch stall-check order (see dispatch).
+	m.statelessChoose = cfg.Steer != SteerSimple
 
-	for c := 0; c < cfg.Clusters; c++ {
-		m.iqInt = append(m.iqInt, queue.NewBounded[uint64](cfg.IQInt))
-		m.iqFP = append(m.iqFP, queue.NewBounded[uint64](cfg.IQFP))
-		m.commQ = append(m.commQ, queue.NewBounded[commEntry](cfg.IQComm))
+	m.iqInt = resetSides(m.iqInt, cfg.Clusters, cfg.IQInt)
+	m.iqFP = resetSides(m.iqFP, cfg.Clusters, cfg.IQFP)
+	m.readyCount = 0
+	m.readyMaskInt, m.readyMaskFP = 0, 0
+	m.vals.clusters = cfg.Clusters
+	if cap(m.commQ) < cfg.Clusters {
+		m.commQ = make([]*queue.Bounded[commEntry], cfg.Clusters)
 	}
+	m.commQ = m.commQ[:cfg.Clusters]
+	for c := 0; c < cfg.Clusters; c++ {
+		if m.commQ[c] == nil || m.commQ[c].Cap() != cfg.IQComm {
+			m.commQ[c] = queue.NewBounded[commEntry](cfg.IQComm)
+		} else {
+			m.commQ[c].Clear()
+		}
+	}
+	if cap(m.commNextEligible) < cfg.Clusters {
+		m.commNextEligible = make([]uint64, cfg.Clusters)
+	}
+	m.commNextEligible = m.commNextEligible[:cfg.Clusters]
+	for c := range m.commNextEligible {
+		m.commNextEligible[c] = neverAvail
+	}
+	m.commGlobalEligible = neverAvail
+
+	for i := range m.events {
+		if cap(m.events[i]) == 0 {
+			m.events[i] = make([]execEvent, 0, 8)
+		}
+		m.events[i] = m.events[i][:0]
+	}
+	for i := range m.iqCal {
+		if cap(m.iqCal[i]) == 0 {
+			m.iqCal[i] = make([]uint64, 0, 8)
+		}
+		m.iqCal[i] = m.iqCal[i][:0]
+	}
+	m.multDivBusyUntil = [regfile.MaxClusters][2][4]uint64{}
+	m.now = 0
+	m.steerReq = steering.Request{}
+	m.pendingInst = isa.Inst{}
+	m.havePending = false
+	m.fetchBlocked = false
+	m.fetchResumeAt = 0
+	m.lastFetchLine = 0
+	m.haveFetchLine = false
+	m.lineShift = uint(bits.TrailingZeros64(uint64(cfg.Mem.L1I.LineBytes)))
+	m.streamDone = false
+	m.lastCommitAt = 0
+	m.dcachePortsUse = 0
+	m.err = nil
+	m.stats = Stats{}
+	m.statsBase = 0
 
 	// Architectural live-in values: the initial architected state is
 	// distributed round-robin across the cluster register files, each
@@ -169,6 +370,7 @@ func New(cfg Config, stream trace.Stream) (*Machine, error) {
 	// Initial values occupy no simulated physical registers (the
 	// architected state is the baseline the files are sized above);
 	// copies made for communications are accounted normally.
+	m.vals.reset()
 	for kind := 0; kind < 2; kind++ {
 		for r := 0; r < isa.NumArchRegs; r++ {
 			id := m.vals.alloc(isa.RegFileKind(kind))
@@ -181,7 +383,23 @@ func New(cfg Config, stream trace.Stream) (*Machine, error) {
 			m.renameMap[kind][r] = id
 		}
 	}
-	return m, nil
+	return nil
+}
+
+// resetSides sizes per-cluster issue sides, reusing ready-list slabs.
+func resetSides(sides []iqSide, clusters, capacity int) []iqSide {
+	if cap(sides) < clusters {
+		sides = make([]iqSide, clusters)
+	}
+	sides = sides[:clusters]
+	for c := range sides {
+		ready := sides[c].ready
+		if cap(ready) < capacity {
+			ready = make([]uint64, 0, capacity)
+		}
+		sides[c] = iqSide{cap: capacity, ready: ready[:0]}
+	}
+	return sides
 }
 
 // Config returns the machine configuration.
@@ -221,22 +439,19 @@ func (m *Machine) NumClusters() int { return m.cfg.Clusters }
 // ("written from the previous cluster in the ring", Section 3), so that is
 // the file whose pressure the steering tie-break must consult.
 func (m *Machine) FreeRegs(c int, kind isa.RegFileKind) int {
-	return m.files.Free(m.visibleCluster(c), kind)
+	return m.files.Free(int(m.visTable[c]), kind)
 }
 
 // CommDistance implements steering.View.
 func (m *Machine) CommDistance(src, dst int) int {
-	return m.fabric.MinDistance(src, dst)
+	return int(m.minDist[src*m.cfg.Clusters+dst])
 }
 
 // visibleCluster returns the cluster whose register file receives the
 // result of an instruction executing in cluster c: the next cluster on the
 // ring machine, the same cluster on the conventional one.
 func (m *Machine) visibleCluster(c int) int {
-	if m.cfg.Arch == ArchRing {
-		return (c + 1) % m.cfg.Clusters
-	}
-	return c
+	return int(m.visTable[c])
 }
 
 // schedule registers a completion event for the given ROB entry.
@@ -248,10 +463,22 @@ func (m *Machine) schedule(robIdx, cycle uint64) {
 	m.events[slot] = append(m.events[slot], execEvent{robIdx: robIdx, cycle: cycle})
 }
 
+// scheduleIQ records that ROB entry robIdx has every operand readable in
+// its cluster from the given cycle; issue merges the slot into the ready
+// list when that cycle arrives. cycle == now is legal (wakeups fire in
+// writeback and issueComms, both of which run before issue).
+func (m *Machine) scheduleIQ(robIdx, cycle uint64) {
+	if cycle < m.now || cycle-m.now >= eventHorizon {
+		panic(fmt.Sprintf("core: IQ wakeup at %d out of horizon (now %d)", cycle, m.now))
+	}
+	slot := cycle % eventHorizon
+	m.iqCal[slot] = append(m.iqCal[slot], robIdx)
+}
+
 // Done reports whether the machine has drained: stream exhausted, fetch
 // queue and ROB empty.
 func (m *Machine) Done() bool {
-	return m.streamDone && m.pendingInst == nil && m.fetchQ.Len() == 0 && m.rob.Len() == 0
+	return m.streamDone && !m.havePending && m.fetchQ.Len() == 0 && m.rob.Len() == 0
 }
 
 // ErrNoProgress is returned by Run when the pipeline stops committing,

@@ -2,10 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
+	"math/bits"
 
 	"repro/internal/isa"
-	"repro/internal/queue"
 	"repro/internal/steering"
 	"repro/internal/trace"
 )
@@ -22,7 +21,7 @@ func (m *Machine) writeback() {
 	m.events[slot] = evs[:0]
 	for _, ev := range evs {
 		if ev.cycle != m.now {
-			panic(fmt.Sprintf("core: event for cycle %d fired at %d", ev.cycle, m.now))
+			panic("core: event fired at the wrong cycle")
 		}
 		e := m.rob.AtAbs(ev.robIdx)
 		e.state = robDone
@@ -33,6 +32,7 @@ func (m *Machine) writeback() {
 			if m.now < v.avail[vc] {
 				v.avail[vc] = m.now
 			}
+			m.wakeValue(e.destVal, v, vc)
 		}
 		if e.class == isa.Branch {
 			m.stats.Branches++
@@ -41,6 +41,54 @@ func (m *Machine) writeback() {
 				m.fetchBlocked = false
 				m.fetchResumeAt = m.now + 1
 			}
+		}
+	}
+}
+
+// wakeValue resolves the availability cycle of value vid (= v) in cluster
+// c for everything waiting on it there: issue-queue entries absorb
+// avail[c] into their ready time and are scheduled into the issue
+// calendar when no unknown sources remain, and pending communications
+// sourced in c get their eligibility cycle stamped. Waiters for other
+// clusters stay registered.
+func (m *Machine) wakeValue(vid valueID, v *value, c int) {
+	avail := v.avail[c]
+	if ws := v.waiters; len(ws) > 0 {
+		kept := ws[:0]
+		for _, w := range ws {
+			if int(w.cluster) != c {
+				kept = append(kept, w)
+				continue
+			}
+			e := m.rob.AtAbs(w.robIdx)
+			if avail > e.readyAt {
+				e.readyAt = avail
+			}
+			e.waitSrcs--
+			if e.waitSrcs == 0 {
+				t := e.readyAt
+				if t < m.now {
+					t = m.now
+				}
+				m.scheduleIQ(w.robIdx, t)
+			}
+		}
+		v.waiters = kept
+	}
+	if v.commWaitMask&(1<<uint(c)) != 0 {
+		v.commWaitMask &^= 1 << uint(c)
+		q := m.commQ[c]
+		for i := 0; i < q.Len(); i++ {
+			ce := q.At(i)
+			if ce.val == vid && ce.eligibleAt == neverAvail {
+				ce.eligibleAt = avail
+			}
+		}
+		if avail < m.commNextEligible[c] {
+			m.commNextEligible[c] = avail
+		}
+		if avail < m.commGlobalEligible {
+			m.commGlobalEligible = avail
 		}
 	}
 }
@@ -61,8 +109,8 @@ func (m *Machine) commit() {
 			m.vals.release(e.prevVal)
 		}
 		if e.hasLSQ {
-			le, ok := m.lsq.Pop()
-			if !ok || le.robIdx != m.rob.Head() {
+			le := m.lsq.Peek()
+			if le == nil || le.robIdx != m.rob.Head() {
 				panic("core: LSQ out of sync with ROB")
 			}
 			if le.isStore {
@@ -70,13 +118,21 @@ func (m *Machine) commit() {
 				// critical path.
 				m.mem.DataAccess(le.addr, true)
 				m.stats.Stores++
+				// Retire the forwarding-map entry if this store is still
+				// the youngest for its address, bounding the map to
+				// roughly LSQ occupancy (a stale entry would be ignored
+				// anyway: issue checks liveness against lsq.Head()).
+				if idx, ok := m.lastStore[le.addr]; ok && idx == m.lsq.Head() {
+					delete(m.lastStore, le.addr)
+				}
 			} else {
 				m.stats.Loads++
 			}
+			m.lsq.Drop()
 		}
 		m.stats.Committed++
 		m.lastCommitAt = m.now
-		m.rob.Pop()
+		m.rob.Drop()
 	}
 }
 
@@ -85,22 +141,36 @@ func (m *Machine) commit() {
 // cluster; contention is the time from ready to injection. Clusters take
 // turns getting first pick so no cluster is structurally favored.
 func (m *Machine) issueComms() {
+	if m.commGlobalEligible > m.now {
+		return
+	}
 	n := m.cfg.Clusters
 	start := int(m.now % uint64(n))
 	for k := 0; k < n; k++ {
-		c := (start + k) % n
+		c := start + k
+		if c >= n {
+			c -= n
+		}
+		if m.commNextEligible[c] > m.now {
+			continue
+		}
 		q := m.commQ[c]
 		// The register file provisions one extra read port per bus
 		// (Section 3), so at most Buses communications issue per cluster
 		// per cycle.
 		issued := 0
-		for i := 0; i < q.Len() && issued < m.cfg.Buses; {
+		nextEligible := neverAvail
+		i := 0
+		for i < q.Len() && issued < m.cfg.Buses {
 			ce := q.At(i)
-			v := m.vals.get(ce.val)
-			if !v.produced || v.avail[c] > m.now {
+			if ce.eligibleAt > m.now {
+				if ce.eligibleAt < nextEligible {
+					nextEligible = ce.eligibleAt
+				}
 				i++
 				continue
 			}
+			v := m.vals.get(ce.val)
 			if !ce.haveReady {
 				ce.haveReady = true
 				ce.readySince = m.now
@@ -118,12 +188,15 @@ func (m *Machine) issueComms() {
 				arrival, dist, ok = m.fabric.TrySend(m.now, c, int(ce.dst))
 			}
 			if !ok {
+				// Eligible but bus-blocked: retry next cycle.
+				nextEligible = m.now
 				i++
 				continue
 			}
 			if arrival < v.avail[ce.dst] {
 				v.avail[ce.dst] = arrival
 			}
+			m.wakeValue(ce.val, v, int(ce.dst))
 			m.stats.CommHops += uint64(dist)
 			m.stats.CommWait += m.now - ce.readySince
 			if m.cfg.Copies == ReleaseOnRead {
@@ -132,7 +205,20 @@ func (m *Machine) issueComms() {
 			q.RemoveAt(i)
 			issued++
 		}
+		if i < q.Len() {
+			// Bus quota exhausted with entries unexamined; any of them
+			// may be eligible, so rescan next cycle.
+			nextEligible = m.now
+		}
+		m.commNextEligible[c] = nextEligible
 	}
+	g := neverAvail
+	for _, t := range m.commNextEligible {
+		if t < g {
+			g = t
+		}
+	}
+	m.commGlobalEligible = g
 }
 
 // noteRead records that one dispatched read of value vid from cluster c
@@ -152,21 +238,6 @@ func (m *Machine) noteRead(vid valueID, c int) {
 		v.copyMask &^= bit
 		v.avail[c] = neverAvail
 	}
-}
-
-// operandsReady reports whether every source of e is readable from
-// cluster c this cycle.
-func (m *Machine) operandsReady(e *robEntry, c int) bool {
-	for i := 0; i < int(e.numSrcs); i++ {
-		sv := e.srcVals[i]
-		if sv == noValue {
-			continue
-		}
-		if m.vals.get(sv).avail[c] > m.now {
-			return false
-		}
-	}
-	return true
 }
 
 // multDivUnit returns a free mult/div unit in cluster c on the given side
@@ -230,16 +301,11 @@ func (m *Machine) tryExecute(e *robEntry, c int) (lat int, ok bool) {
 
 // tryExecuteLoad applies memory disambiguation and D-cache port limits.
 // Disambiguation is perfect (trace-driven addresses): a load waits only
-// for the nearest older store to the same address, and forwards from it.
+// for the nearest older store to the same address — identified once at
+// dispatch — and forwards from it while that store is still in the LSQ.
 func (m *Machine) tryExecuteLoad(e *robEntry, c int) (lat int, ok bool) {
-	// Scan older LSQ entries, youngest first, for a same-address store.
-	for idx := e.lsqIdx; idx > m.lsq.Head(); {
-		idx--
-		le := m.lsq.AtAbs(idx)
-		if !le.isStore || le.addr != e.effAddr {
-			continue
-		}
-		if !le.issued {
+	if e.hasDep && e.depLSQ >= m.lsq.Head() {
+		if !m.lsq.AtAbs(e.depLSQ).issued {
 			return 0, false // store data not ready yet
 		}
 		m.stats.LoadFwds++
@@ -254,18 +320,16 @@ func (m *Machine) tryExecuteLoad(e *robEntry, c int) (lat int, ok bool) {
 	return 1 + 2*transit + m.mem.DataAccess(e.effAddr, false), true
 }
 
-// issueSide scans one cluster's issue queue (one side), issuing ready
-// instructions oldest-first up to the width, and returns the NREADY
-// bookkeeping: ready-but-width-blocked entries and unused issue slots.
-func (m *Machine) issueSide(c int, q *queue.Bounded[uint64], width int) (surplus, idle int) {
+// issueSide walks one cluster's ready list (one side), issuing
+// oldest-first up to the width, and returns the NREADY bookkeeping:
+// ready-but-width-blocked entries and the slots actually used. Every
+// entry in the list has its operands readable — waiting instructions
+// never reach it — so the only per-entry work is the structural check.
+func (m *Machine) issueSide(c int, q *iqSide, width int) (surplus, issuedN int) {
 	issued := 0
-	for i := 0; i < q.Len(); {
-		idx := *q.At(i)
+	for i := 0; i < len(q.ready); {
+		idx := q.ready[i]
 		e := m.rob.AtAbs(idx)
-		if !m.operandsReady(e, c) {
-			i++
-			continue
-		}
 		if issued >= width {
 			surplus++
 			i++
@@ -285,26 +349,64 @@ func (m *Machine) issueSide(c int, q *queue.Bounded[uint64], width int) (surplus
 			}
 		}
 		m.schedule(idx, m.now+uint64(lat))
-		q.RemoveAt(i)
+		q.removeReady(i)
+		q.count--
+		m.readyCount--
 		issued++
 	}
-	return surplus, width - issued
+	return surplus, issued
 }
 
-// issue runs the per-cluster select logic and accumulates the NREADY
-// workload-imbalance figure: ready instructions beyond their cluster's
-// issue width that idle slots elsewhere could have absorbed, computed per
-// side (an integer instruction cannot use an FP slot).
+// issue merges the entries whose operands became readable this cycle into
+// their ready lists, then runs the per-cluster select logic and
+// accumulates the NREADY workload-imbalance figure: ready instructions
+// beyond their cluster's issue width that idle slots elsewhere could have
+// absorbed, computed per side (an integer instruction cannot use an FP
+// slot).
 func (m *Machine) issue() {
-	var surInt, idleInt, surFP, idleFP int
-	for c := 0; c < m.cfg.Clusters; c++ {
-		s, id := m.issueSide(c, m.iqInt[c], m.cfg.IssueInt)
-		surInt += s
-		idleInt += id
-		s, id = m.issueSide(c, m.iqFP[c], m.cfg.IssueFP)
-		surFP += s
-		idleFP += id
+	slot := m.now % eventHorizon
+	if wakes := m.iqCal[slot]; len(wakes) > 0 {
+		m.iqCal[slot] = wakes[:0]
+		for _, idx := range wakes {
+			e := m.rob.AtAbs(idx)
+			if e.class.IsFP() {
+				m.iqFP[e.cluster].insertReady(idx)
+				m.readyMaskFP |= 1 << uint(e.cluster)
+			} else {
+				m.iqInt[e.cluster].insertReady(idx)
+				m.readyMaskInt |= 1 << uint(e.cluster)
+			}
+		}
+		m.readyCount += len(wakes)
 	}
+	if m.readyCount == 0 {
+		// Nothing ready anywhere: no issue and no NREADY surplus (idle
+		// slots without surplus contribute nothing to the imbalance).
+		return
+	}
+	// Only clusters with a non-empty ready list are visited; every slot
+	// of a skipped cluster is idle, so idle = total width - issued.
+	var surInt, issInt, surFP, issFP int
+	for mk := m.readyMaskInt; mk != 0; mk &= mk - 1 {
+		c := bits.TrailingZeros32(mk)
+		s, is := m.issueSide(c, &m.iqInt[c], m.cfg.IssueInt)
+		surInt += s
+		issInt += is
+		if len(m.iqInt[c].ready) == 0 {
+			m.readyMaskInt &^= 1 << uint(c)
+		}
+	}
+	for mk := m.readyMaskFP; mk != 0; mk &= mk - 1 {
+		c := bits.TrailingZeros32(mk)
+		s, is := m.issueSide(c, &m.iqFP[c], m.cfg.IssueFP)
+		surFP += s
+		issFP += is
+		if len(m.iqFP[c].ready) == 0 {
+			m.readyMaskFP &^= 1 << uint(c)
+		}
+	}
+	idleInt := m.cfg.Clusters*m.cfg.IssueInt - issInt
+	idleFP := m.cfg.Clusters*m.cfg.IssueFP - issFP
 	m.stats.NReadyInt += uint64(min(surInt, idleInt))
 	m.stats.NReadyFP += uint64(min(surFP, idleFP))
 	m.stats.NReady += uint64(min(surInt, idleInt) + min(surFP, idleFP))
@@ -330,14 +432,31 @@ func (m *Machine) dispatch() {
 		if fe.readyAt > m.now {
 			return
 		}
-		in := &fe.inst
-
-		// Rename sources.
-		var req steering.Request
+		// The ROB and LSQ checks do not depend on the chosen cluster, so
+		// with a stateless steering policy a full-ROB stall cycle skips
+		// renaming and steering entirely. SSA advances its round-robin
+		// counter inside Choose, so it must keep the original order (the
+		// same checks are repeated after Choose).
+		if m.statelessChoose {
+			if m.rob.Full() {
+				m.stats.StallROB++
+				return
+			}
+			if fe.class.IsMem() && m.lsq.Full() {
+				m.stats.StallLSQ++
+				return
+			}
+		}
+		// Rename sources. The request lives on the machine: passing a
+		// stack-local through the Algorithm interface would heap-allocate
+		// once per steering decision. Resetting the count suffices —
+		// consumers never read Ops beyond NumOps.
+		req := &m.steerReq
+		req.NumOps = 0
 		var srcIDs [2]valueID
 		var srcKinds [2]isa.RegFileKind
-		for i := 0; i < int(in.NumSrcs); i++ {
-			r := in.Src[i]
+		for i := 0; i < int(fe.numSrcs); i++ {
+			r := fe.src[i]
 			if r.IsZero() {
 				continue
 			}
@@ -349,26 +468,26 @@ func (m *Machine) dispatch() {
 			req.NumOps++
 		}
 		req.Kind = isa.IntReg
-		if in.WritesReg() {
-			req.Kind = in.Dest.Kind
+		if fe.writesReg {
+			req.Kind = fe.dest.Kind
 		}
 
-		cl := m.alg.Choose(m, &req)
+		cl := m.alg.Choose(m, req)
 
 		// Global structures.
 		if m.rob.Full() {
 			m.stats.StallROB++
 			return
 		}
-		if in.Class.IsMem() && m.lsq.Full() {
+		if fe.class.IsMem() && m.lsq.Full() {
 			m.stats.StallLSQ++
 			return
 		}
-		iq := m.iqInt[cl]
-		if in.Class.IsFP() {
-			iq = m.iqFP[cl]
+		side := &m.iqInt[cl]
+		if fe.class.IsFP() {
+			side = &m.iqFP[cl]
 		}
-		if iq.Full() {
+		if side.count >= side.cap {
 			m.stats.StallIQ++
 			return
 		}
@@ -377,8 +496,8 @@ func (m *Machine) dispatch() {
 		// allocation so a stall leaks nothing).
 		var needs [3]regNeed
 		nNeeds := 0
-		if in.WritesReg() {
-			needs[nNeeds] = regNeed{m.visibleCluster(cl), in.Dest.Kind}
+		if fe.writesReg {
+			needs[nNeeds] = regNeed{m.visibleCluster(cl), fe.dest.Kind}
 			nNeeds++
 		}
 		type commNeed struct {
@@ -426,24 +545,27 @@ func (m *Machine) dispatch() {
 			}
 		}
 
-		// All resources available: perform the dispatch.
-		e := robEntry{
-			seq:        in.Seq,
-			pc:         in.PC,
-			class:      in.Class,
+		// All resources available: perform the dispatch. The ROB slot is
+		// claimed up front and the entry is built in place.
+		robIdx := m.rob.Tail()
+		ep, pushed := m.rob.PushRef()
+		if !pushed {
+			panic("core: ROB slot vanished after check")
+		}
+		*ep = robEntry{
+			seq:        fe.seq,
+			class:      fe.class,
 			cluster:    int8(cl),
 			state:      robWaiting,
 			destVal:    noValue,
 			prevVal:    noValue,
-			effAddr:    in.EffAddr,
-			taken:      in.Taken,
-			target:     in.Target,
+			effAddr:    fe.effAddr,
 			mispredict: fe.mispredict,
 		}
 		for i := 0; i < req.NumOps; i++ {
-			e.srcVals[i] = srcIDs[i]
+			ep.srcVals[i] = srcIDs[i]
 		}
-		e.numSrcs = int8(req.NumOps)
+		ep.numSrcs = int8(req.NumOps)
 
 		for i := 0; i < nComms; i++ {
 			c := comms[i]
@@ -456,7 +578,20 @@ func (m *Machine) dispatch() {
 			if m.cfg.Copies == ReleaseOnRead {
 				v.readers[c.src]++ // the communication itself reads at its source
 			}
-			if !m.commQ[c.src].Push(commEntry{val: srcIDs[c.op], src: int8(c.src), dst: int8(cl)}) {
+			ce := commEntry{val: srcIDs[c.op], src: int8(c.src), dst: int8(cl)}
+			if a := v.avail[c.src]; a == neverAvail {
+				ce.eligibleAt = neverAvail
+				v.commWaitMask |= 1 << uint(c.src)
+			} else {
+				ce.eligibleAt = a
+			}
+			if ce.eligibleAt < m.commNextEligible[c.src] {
+				m.commNextEligible[c.src] = ce.eligibleAt
+			}
+			if ce.eligibleAt < m.commGlobalEligible {
+				m.commGlobalEligible = ce.eligibleAt
+			}
+			if !m.commQ[c.src].Push(ce) {
 				panic("core: comm queue slot vanished after check")
 			}
 			m.stats.Comms++
@@ -467,36 +602,66 @@ func (m *Machine) dispatch() {
 			}
 		}
 
-		if in.WritesReg() {
+		if fe.writesReg {
 			home := m.visibleCluster(cl)
-			if !m.files.Alloc(home, in.Dest.Kind) {
+			if !m.files.Alloc(home, fe.dest.Kind) {
 				panic("core: destination register vanished after check")
 			}
-			vid := m.vals.alloc(in.Dest.Kind)
+			vid := m.vals.alloc(fe.dest.Kind)
 			v := m.vals.get(vid)
 			v.copyMask = 1 << uint(home)
 			v.allocMask = 1 << uint(home)
 			v.home = int8(home)
-			e.destVal = vid
-			e.destKind = in.Dest.Kind
-			e.prevVal = m.renameMap[in.Dest.Kind][in.Dest.Idx]
-			m.renameMap[in.Dest.Kind][in.Dest.Idx] = vid
+			ep.destVal = vid
+			ep.destKind = fe.dest.Kind
+			ep.prevVal = m.renameMap[fe.dest.Kind][fe.dest.Idx]
+			m.renameMap[fe.dest.Kind][fe.dest.Idx] = vid
 		}
 
-		robIdx, ok := m.rob.Push(e)
-		if !ok {
-			panic("core: ROB slot vanished after check")
-		}
-		if in.Class.IsMem() {
-			lsqIdx, ok := m.lsq.Push(lsqEntry{robIdx: robIdx, addr: in.EffAddr, isStore: in.Class == isa.Store})
+		if fe.class.IsMem() {
+			lsqIdx, ok := m.lsq.Push(lsqEntry{robIdx: robIdx, addr: fe.effAddr, isStore: fe.class == isa.Store})
 			if !ok {
 				panic("core: LSQ slot vanished after check")
 			}
-			m.rob.AtAbs(robIdx).hasLSQ = true
-			m.rob.AtAbs(robIdx).lsqIdx = lsqIdx
+			ep.hasLSQ = true
+			ep.lsqIdx = lsqIdx
+			if fe.class == isa.Store {
+				m.lastStore[fe.effAddr] = lsqIdx
+			} else if dep, found := m.lastStore[fe.effAddr]; found {
+				// The youngest older store to this address; all older
+				// same-address stores commit before it, so if it has left
+				// the LSQ by issue time the load goes to the cache.
+				ep.hasDep, ep.depLSQ = true, dep
+			}
 		}
-		if !iq.Push(robIdx) {
-			panic("core: IQ slot vanished after check")
+
+		// Insert into the issue queue: resolve each source's availability
+		// cycle in cl now, registering a wakeup on values whose cycle is
+		// still unknown. Entries with fully known timing go straight into
+		// the issue calendar and are never rescanned while they wait.
+		re := ep
+		for i := 0; i < int(re.numSrcs); i++ {
+			sv := re.srcVals[i]
+			if sv == noValue {
+				continue
+			}
+			v := m.vals.get(sv)
+			if a := v.avail[cl]; a == neverAvail {
+				v.waiters = append(v.waiters, iqWaiter{robIdx: robIdx, cluster: int8(cl)})
+				re.waitSrcs++
+			} else if a > re.readyAt {
+				re.readyAt = a
+			}
+		}
+		side.count++
+		if re.waitSrcs == 0 {
+			t := re.readyAt
+			if t <= m.now {
+				// Already readable: eligible from the next cycle (issue
+				// precedes dispatch within a cycle).
+				t = m.now + 1
+			}
+			m.scheduleIQ(robIdx, t)
 		}
 
 		m.alg.OnDispatch(cl)
@@ -508,7 +673,7 @@ func (m *Machine) dispatch() {
 		if u := uint64(m.files.TotalUsed(isa.FPReg)); u > m.stats.PeakRegsFP {
 			m.stats.PeakRegsFP = u
 		}
-		m.fetchQ.Pop()
+		m.fetchQ.Drop()
 	}
 }
 
@@ -517,11 +682,11 @@ func (m *Machine) dispatch() {
 // indices.
 func (m *Machine) nearestCopy(mask uint32, dst int) int {
 	best, bestD := -1, int(^uint(0)>>1)
-	for s := 0; s < m.cfg.Clusters; s++ {
-		if mask&(1<<uint(s)) == 0 {
-			continue
-		}
-		if d := m.fabric.MinDistance(s, dst); d < bestD {
+	row := m.minDist
+	n := m.cfg.Clusters
+	for mk := mask; mk != 0; mk &= mk - 1 {
+		s := bits.TrailingZeros32(mk)
+		if d := int(row[s*n+dst]); d < bestD {
 			best, bestD = s, d
 		}
 	}
@@ -540,28 +705,36 @@ func (m *Machine) fetch() {
 	if m.fetchBlocked || m.now < m.fetchResumeAt {
 		return
 	}
-	lineShift := lineShiftOf(m.cfg.Mem.L1I.LineBytes)
 	for fetched := 0; fetched < m.cfg.FetchWidth && !m.fetchQ.Full(); {
-		var in isa.Inst
-		if m.pendingInst != nil {
-			in = *m.pendingInst
-			m.pendingInst = nil
+		var in *isa.Inst
+		if m.havePending {
+			in = &m.pendingInst
+			m.havePending = false
 		} else {
 			if m.streamDone {
 				return
 			}
-			var err error
-			in, err = m.stream.Next()
-			if err != nil {
-				if errors.Is(err, trace.ErrEnd) {
+			// Materialized traces are read in place; other streams copy
+			// through the interface into a staging buffer.
+			if m.sliceSrc != nil {
+				in = m.sliceSrc.NextRef()
+				if in == nil {
 					m.streamDone = true
 					return
 				}
-				m.err = err
-				m.streamDone = true
-				return
+			} else {
+				v, err := m.stream.Next()
+				if err != nil {
+					if !errors.Is(err, trace.ErrEnd) {
+						m.err = err
+					}
+					m.streamDone = true
+					return
+				}
+				m.scratchInst = v
+				in = &m.scratchInst
 			}
-			line := in.PC >> lineShift
+			line := in.PC >> m.lineShift
 			if !m.haveFetchLine || line != m.lastFetchLine {
 				lat := m.mem.InstFetch(in.PC)
 				m.lastFetchLine = line
@@ -569,18 +742,27 @@ func (m *Machine) fetch() {
 				if lat > m.cfg.Mem.L1I.HitLatency {
 					// Miss: the line arrives later; hold the
 					// instruction and resume then.
-					held := in
-					m.pendingInst = &held
+					m.pendingInst = *in
+					m.havePending = true
 					m.fetchResumeAt = m.now + uint64(lat)
 					return
 				}
 			}
 		}
-		fe := fetchEntry{inst: in, readyAt: m.now + 1 + uint64(m.cfg.SteerLatency)}
+		fe, _ := m.fetchQ.PushRef() // never full: guarded by the loop condition
+		*fe = fetchEntry{
+			seq:       in.Seq,
+			effAddr:   in.EffAddr,
+			readyAt:   m.now + 1 + uint64(m.cfg.SteerLatency),
+			src:       in.Src,
+			dest:      in.Dest,
+			class:     in.Class,
+			numSrcs:   in.NumSrcs,
+			writesReg: in.WritesReg(),
+		}
+		fetched++
 		if in.Class.IsBranch() {
 			fe.mispredict = m.pred.Update(in.PC, in.Taken, in.Target)
-			m.fetchQ.Push(fe)
-			fetched++
 			if fe.mispredict {
 				m.fetchBlocked = true
 				return
@@ -588,18 +770,6 @@ func (m *Machine) fetch() {
 			if in.Taken {
 				return // fetch group ends at a taken branch
 			}
-			continue
 		}
-		m.fetchQ.Push(fe)
-		fetched++
 	}
-}
-
-// lineShiftOf returns log2 of a power-of-two line size.
-func lineShiftOf(lineBytes int) uint {
-	s := uint(0)
-	for 1<<s != lineBytes {
-		s++
-	}
-	return s
 }

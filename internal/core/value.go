@@ -13,6 +13,13 @@ type valueID = int32
 
 const noValue valueID = -1
 
+// iqWaiter names one issue-queue entry blocked on a value: the ROB index
+// of the instruction and the cluster it needs the value to be readable in.
+type iqWaiter struct {
+	robIdx  uint64
+	cluster int8
+}
+
 // value is one renamed register instance: the result of one dynamic
 // register-writing instruction (or an architectural live-in). The value
 // tracks, per cluster, the first cycle at which instructions issuing in
@@ -41,12 +48,32 @@ type value struct {
 	// value from cluster c (consumer operand reads and communication
 	// sends). Used only by the ReleaseOnRead policy.
 	readers [regfile.MaxClusters]uint16
+	// waiters lists the issue-queue entries whose availability cycle for
+	// this value is still unknown in their cluster; lowering avail[c]
+	// wakes the matching entries. Always empty by the time the value is
+	// released (consumers issue before the redefining instruction
+	// commits).
+	waiters []iqWaiter
+	// commWaitMask has bit c set while a communication queued in cluster
+	// c waits for this value's availability cycle there to become known;
+	// the wakeup then stamps the matching comm entries.
+	commWaitMask uint32
 }
 
 // valueTable is a free-list slab of values.
 type valueTable struct {
 	vals []value
 	free []valueID
+	// clusters bounds the per-cluster init loop in alloc: entries beyond
+	// the machine's cluster count are never read.
+	clusters int
+}
+
+// reset empties the table, keeping the slab and free-list capacity (and
+// the per-slot waiter backing arrays, preserved across alloc).
+func (t *valueTable) reset() {
+	t.vals = t.vals[:0]
+	t.free = t.free[:0]
 }
 
 // alloc returns a fresh value of the given namespace with no copies.
@@ -55,13 +82,17 @@ func (t *valueTable) alloc(kind isa.RegFileKind) valueID {
 	if n := len(t.free); n > 0 {
 		id = t.free[n-1]
 		t.free = t.free[:n-1]
+	} else if len(t.vals) < cap(t.vals) {
+		t.vals = t.vals[:len(t.vals)+1]
+		id = valueID(len(t.vals) - 1)
 	} else {
 		t.vals = append(t.vals, value{})
 		id = valueID(len(t.vals) - 1)
 	}
 	v := &t.vals[id]
-	*v = value{kind: kind, live: true}
-	for i := range v.avail {
+	waiters := v.waiters[:0]
+	*v = value{kind: kind, live: true, waiters: waiters}
+	for i := 0; i < t.clusters; i++ {
 		v.avail[i] = neverAvail
 	}
 	return id
@@ -76,6 +107,9 @@ func (t *valueTable) release(id valueID) {
 	v := &t.vals[id]
 	if !v.live {
 		panic("core: double release of value")
+	}
+	if len(v.waiters) != 0 {
+		panic("core: value released with issue-queue waiters")
 	}
 	v.live = false
 	t.free = append(t.free, id)

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// freshRun simulates one request the way the seed harness did — a fresh
+// generator-driven machine, no trace cache, no machine pool — and returns
+// its statistics. It is the reference the optimized Execute path must
+// reproduce bit-for-bit.
+func freshRun(t *testing.T, req Request) core.Stats {
+	t.Helper()
+	prof, err := workload.ByName(req.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(req.Config, trace.NewLimit(gen, req.Warmup+req.Insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Warmup > 0 {
+		if err := runUntilCommitted(m, req.Warmup); err != nil {
+			t.Fatal(err)
+		}
+		m.ResetStats()
+	}
+	st, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMachineReuseDeterminism drives every paper configuration through the
+// production Execute path — shared materialized traces plus pooled,
+// Reset-recycled machines — and requires statistics identical to a fresh
+// generator-driven machine. Running all configs sequentially also forces
+// pool recycling across different cluster counts and architectures, which
+// is exactly the state-leak surface Reset must seal.
+func TestMachineReuseDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full paper grid")
+	}
+	const insts, warmup = 12_000, 2_000
+	programs := []string{"gcc", "swim"}
+	for _, cfg := range PaperConfigs() {
+		for _, prog := range programs {
+			req := Request{Config: cfg, Program: prog, Insts: insts, Warmup: warmup}
+			want := freshRun(t, req)
+			// Twice through the pool: the first run may construct, the
+			// second is guaranteed to reuse a machine that just ran a
+			// different (config, program) pair.
+			for round := 0; round < 2; round++ {
+				run := Execute(req)
+				if run.Err != nil {
+					t.Fatalf("%s/%s round %d: %v", cfg.Name, prog, round, run.Err)
+				}
+				if run.Stats != want {
+					t.Errorf("%s/%s round %d: pooled stats diverged\n got %+v\nwant %+v",
+						cfg.Name, prog, round, run.Stats, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceCacheSharesPrefix checks that materialized streams are exact
+// prefixes: a short request replayed from the cache must yield the same
+// instructions as a longer one, and both must match a fresh generator.
+func TestTraceCacheSharesPrefix(t *testing.T) {
+	tc := NewTraceCache(1 << 20)
+	short, err := tc.Stream("gcc", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := tc.Stream("gcc", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("gcc")
+	gen, _ := workload.NewGenerator(prof)
+	ref := trace.Stream(trace.NewLimit(gen, 5000))
+	for i := 0; i < 5000; i++ {
+		want, err := ref.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := long.Next()
+		if err != nil {
+			t.Fatalf("long stream ended early at %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("inst %d: cached %+v != generated %+v", i, got, want)
+		}
+		if i < 1000 {
+			gs, err := short.Next()
+			if err != nil {
+				t.Fatalf("short stream ended early at %d: %v", i, err)
+			}
+			if gs != want {
+				t.Fatalf("inst %d: short view diverged", i)
+			}
+		}
+	}
+	if _, err := long.Next(); err != trace.ErrEnd {
+		t.Fatalf("long stream did not end: %v", err)
+	}
+}
+
+// TestTraceCacheBudgetFallback checks that an over-budget request falls
+// back to a private generator with identical content.
+func TestTraceCacheBudgetFallback(t *testing.T) {
+	tc := NewTraceCache(100) // far below any real request
+	s, err := tc.Stream("gcc", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("gcc")
+	gen, _ := workload.NewGenerator(prof)
+	ref := trace.NewLimit(gen, 1000)
+	n := 0
+	for {
+		want, errW := ref.Next()
+		got, errG := s.Next()
+		if (errW != nil) != (errG != nil) {
+			t.Fatalf("stream length mismatch at %d: %v vs %v", n, errW, errG)
+		}
+		if errW != nil {
+			break
+		}
+		if got != want {
+			t.Fatalf("inst %d differs under budget fallback", n)
+		}
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("fallback stream yielded %d insts, want 1000", n)
+	}
+}

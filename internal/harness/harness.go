@@ -11,9 +11,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -44,7 +44,17 @@ type Request struct {
 	Warmup uint64
 }
 
-// Execute runs one simulation request synchronously.
+// machinePool recycles simulator machines across Execute calls: a reset
+// machine reuses its predecessor's queue, calendar, cache and predictor
+// slabs, so the steady-state grid and service paths stop paying
+// per-request construction. Reset is observationally identical to New
+// (guarded by TestMachineReuseDeterminism).
+var machinePool sync.Pool
+
+// Execute runs one simulation request synchronously. The instruction
+// stream comes from the shared trace cache (materialized once per
+// program and replayed across configurations) and the machine from a
+// pool of recycled simulators.
 func Execute(req Request) Run {
 	out := Run{Config: req.Config, Program: req.Program}
 	prof, err := workload.ByName(req.Program)
@@ -53,22 +63,28 @@ func Execute(req Request) Run {
 		return out
 	}
 	out.Class = prof.Class
-	gen, err := workload.NewGenerator(prof)
-	if err != nil {
-		out.Err = err
-		return out
-	}
 	// Warm-up: the generator produces the stream; skipping instructions
 	// before the measured window warms the predictor and caches less
 	// faithfully than re-running, so we simply include a warm-up segment
 	// in the same machine and subtract nothing — the paper's own skip
 	// happens before its measured window on a warm machine. We instead
 	// run warm-up instructions through the machine and reset statistics.
-	m, err := core.New(req.Config, trace.NewLimit(gen, req.Warmup+req.Insts))
+	stream, err := DefaultTraceCache.Stream(req.Program, req.Warmup+req.Insts)
 	if err != nil {
 		out.Err = err
 		return out
 	}
+	var m *core.Machine
+	if pooled, _ := machinePool.Get().(*core.Machine); pooled != nil {
+		m, err = pooled, pooled.Reset(req.Config, stream)
+	} else {
+		m, err = core.New(req.Config, stream)
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	defer machinePool.Put(m)
 	if req.Warmup > 0 {
 		if err := runUntilCommitted(m, req.Warmup); err != nil {
 			out.Err = err
@@ -108,23 +124,33 @@ func Expand(configs []core.Config, programs []string, insts, warmup uint64) []Re
 	return reqs
 }
 
-// Grid runs every (config, program) pair across a worker pool and returns
-// results keyed by configuration name and program. The order of workers is
+// Grid runs every (config, program) pair across a fixed worker pool and
+// returns results keyed by configuration name and program. The pool size
+// is min(GOMAXPROCS, requests) — a 10k-request grid runs on a handful of
+// goroutines instead of spawning one per request. The order of workers is
 // nondeterministic but each simulation is fully deterministic, so the
 // result set is reproducible.
 func Grid(configs []core.Config, programs []string, insts, warmup uint64) (map[Key]Run, error) {
 	reqs := Expand(configs, programs, insts, warmup)
 	results := make([]Run, len(reqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range reqs {
-		wg.Add(1)
-		go func(i int) {
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = Execute(reqs[i])
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				results[i] = Execute(reqs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	out := make(map[Key]Run, len(results))

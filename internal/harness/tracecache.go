@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TraceCache materializes each workload program's deterministic
+// instruction stream once and replays it as a read-only slice, so a grid
+// that runs the same program under many configurations generates the
+// trace a single time instead of once per configuration. Entries extend
+// in place: a request for a longer prefix pulls more instructions from
+// the program's retained generator, and outstanding shorter views stay
+// valid (extension never mutates published elements).
+//
+// The cache is safe for concurrent use and bounded by a total-instruction
+// budget; requests it cannot admit fall back to a private generator, so
+// oversized sweeps degrade to the unshared behaviour instead of evicting
+// (grids revisit every program round-robin, which would thrash any LRU).
+type TraceCache struct {
+	budget uint64 // total instructions across programs; 0 = unlimited
+
+	mu      sync.Mutex
+	total   uint64
+	entries map[string]*traceEntry
+}
+
+// traceEntry is one program's materialized prefix plus the generator that
+// extends it. The entry lock serializes extension; readers of published
+// prefixes need no lock. reserved is the longest prefix any request has
+// claimed budget for, tracked under the cache lock (len(insts) itself is
+// only touched under the entry lock).
+type traceEntry struct {
+	reserved uint64
+
+	mu    sync.Mutex
+	gen   *workload.Generator
+	insts []isa.Inst
+}
+
+// NewTraceCache returns a cache bounded to roughly budget materialized
+// instructions in total (0 = unlimited).
+func NewTraceCache(budget uint64) *TraceCache {
+	return &TraceCache{budget: budget, entries: make(map[string]*traceEntry)}
+}
+
+// DefaultTraceCache backs Execute. Its budget (64M instructions, a few
+// GB at most in the worst case but ~50 MB for the paper grids) covers the
+// full suite at the paper's default instruction counts.
+var DefaultTraceCache = NewTraceCache(64 << 20)
+
+// Stream returns a trace.Stream yielding exactly the first n dynamic
+// instructions of the named program: a replay of the shared materialized
+// trace when the budget admits it, otherwise a freshly generated stream.
+// Both paths produce bit-identical instruction sequences.
+func (tc *TraceCache) Stream(program string, n uint64) (trace.Stream, error) {
+	prof, err := workload.ByName(program)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	e := tc.entries[program]
+	if e == nil {
+		if tc.budget != 0 && tc.total+n > tc.budget {
+			tc.mu.Unlock()
+			return tc.fresh(prof, n)
+		}
+		gen, err := workload.NewGenerator(prof)
+		if err != nil {
+			tc.mu.Unlock()
+			return nil, err
+		}
+		e = &traceEntry{gen: gen, reserved: n}
+		tc.entries[program] = e
+		tc.total += n
+	} else if n > e.reserved {
+		grow := n - e.reserved
+		if tc.budget != 0 && tc.total+grow > tc.budget {
+			tc.mu.Unlock()
+			return tc.fresh(prof, n)
+		}
+		e.reserved = n
+		tc.total += grow
+	}
+	tc.mu.Unlock()
+
+	e.mu.Lock()
+	for uint64(len(e.insts)) < n {
+		in, err := e.gen.Next()
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.insts = append(e.insts, in)
+	}
+	s := e.insts[:n:n]
+	e.mu.Unlock()
+	return trace.NewSlice(s), nil
+}
+
+// fresh builds the unshared fallback stream.
+func (tc *TraceCache) fresh(prof workload.Profile, n uint64) (trace.Stream, error) {
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewLimit(gen, n), nil
+}

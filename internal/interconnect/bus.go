@@ -56,12 +56,14 @@ type Stats struct {
 // Bus is one unidirectional fully pipelined ring bus. Not safe for
 // concurrent use.
 type Bus struct {
-	n     int
-	hop   int
-	dir   Direction
-	cal   []uint64 // cal[seg*window + cycle%window] != 0 => reserved
-	stats Stats
-	now   uint64
+	n        int
+	hop      int
+	dir      Direction
+	cal      []uint64 // cal[(cycle%window)*n + seg] != 0 => reserved
+	occRow   []uint16 // reserved slots per calendar row (cycle%window)
+	occupied int      // reserved slot-cycles still in the calendar
+	stats    Stats
+	now      uint64
 }
 
 // NewBus creates a bus over n clusters with the given per-hop latency and
@@ -81,11 +83,22 @@ func NewBus(n, hop int, dir Direction) *Bus {
 		panic("interconnect: bad direction")
 	}
 	return &Bus{
-		n:   n,
-		hop: hop,
-		dir: dir,
-		cal: make([]uint64, n*window),
+		n:      n,
+		hop:    hop,
+		dir:    dir,
+		cal:    make([]uint64, n*window),
+		occRow: make([]uint16, window),
 	}
+}
+
+// Reset clears the slot calendar, clock and statistics, returning the bus
+// to its just-constructed state.
+func (b *Bus) Reset() {
+	clear(b.cal)
+	clear(b.occRow)
+	b.occupied = 0
+	b.stats = Stats{}
+	b.now = 0
 }
 
 // N returns the number of clusters on the ring.
@@ -124,10 +137,18 @@ func (b *Bus) segment(src, k int) int {
 // It must be called with non-decreasing values, at most +1 per call from
 // the previous cycle (the core ticks every cycle).
 func (b *Bus) Advance(now uint64) {
+	if b.occupied == 0 {
+		// Empty calendar: nothing to release, just move the clock.
+		b.now = now
+		return
+	}
 	for b.now < now {
-		idx := int(b.now % window)
-		for seg := 0; seg < b.n; seg++ {
-			b.cal[seg*window+idx] = 0
+		r := int(b.now % window)
+		if c := b.occRow[r]; c != 0 {
+			base := r * b.n
+			clear(b.cal[base : base+b.n])
+			b.occRow[r] = 0
+			b.occupied -= int(c)
 		}
 		b.now++
 	}
@@ -137,7 +158,7 @@ func (b *Bus) Advance(now uint64) {
 // slots beginning at cycle start.
 func (b *Bus) free(seg int, start uint64) bool {
 	for c := uint64(0); c < uint64(b.hop); c++ {
-		if b.cal[seg*window+int((start+c)%window)] != 0 {
+		if b.cal[int((start+c)%window)*b.n+seg] != 0 {
 			return false
 		}
 	}
@@ -176,11 +197,14 @@ func (b *Bus) Inject(now uint64, src, dst int) (arrival uint64) {
 		seg := b.segment(src, k)
 		start := now + uint64(k*b.hop)
 		for c := uint64(0); c < uint64(b.hop); c++ {
-			slot := seg*window + int((start+c)%window)
+			r := int((start + c) % window)
+			slot := r*b.n + seg
 			if b.cal[slot] != 0 {
 				panic("interconnect: Inject without CanInject")
 			}
 			b.cal[slot] = 1
+			b.occRow[r]++
+			b.occupied++
 		}
 	}
 	b.stats.Messages++
@@ -195,6 +219,12 @@ func (b *Bus) Inject(now uint64, src, dst int) (arrival uint64) {
 type Fabric struct {
 	buses []*Bus
 	n     int
+	// minDist[src*n+dst] is the smallest hop count over any bus,
+	// precomputed at construction: steering and dispatch consult it per
+	// operand, making it one of the hottest lookups in the simulator.
+	minDist []int8
+	opposed bool
+	hop     int
 }
 
 // NewFabric builds a fabric over n clusters. numBuses is 1 or 2; hop is
@@ -204,7 +234,7 @@ func NewFabric(n, numBuses, hop int, opposed bool) *Fabric {
 	if numBuses < 1 || numBuses > 2 {
 		panic(fmt.Sprintf("interconnect: %d buses unsupported", numBuses))
 	}
-	f := &Fabric{n: n}
+	f := &Fabric{n: n, opposed: opposed, hop: hop}
 	f.buses = append(f.buses, NewBus(n, hop, Forward))
 	if numBuses == 2 {
 		dir := Forward
@@ -213,7 +243,32 @@ func NewFabric(n, numBuses, hop int, opposed bool) *Fabric {
 		}
 		f.buses = append(f.buses, NewBus(n, hop, dir))
 	}
+	f.minDist = make([]int8, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			best := f.buses[0].Distance(src, dst)
+			for _, b := range f.buses[1:] {
+				if d := b.Distance(src, dst); d < best {
+					best = d
+				}
+			}
+			f.minDist[src*n+dst] = int8(best)
+		}
+	}
 	return f
+}
+
+// Reset returns the fabric to its just-constructed state when its shape
+// matches the requested one, reporting whether it did; a false return
+// means the caller must build a fresh fabric with NewFabric.
+func (f *Fabric) Reset(n, numBuses, hop int, opposed bool) bool {
+	if f.n != n || len(f.buses) != numBuses || f.hop != hop || f.opposed != opposed {
+		return false
+	}
+	for _, b := range f.buses {
+		b.Reset()
+	}
+	return true
 }
 
 // N returns the number of clusters.
@@ -234,20 +289,28 @@ func (f *Fabric) Advance(now uint64) {
 
 // MinDistance returns the smallest hop count from src to dst over any bus.
 func (f *Fabric) MinDistance(src, dst int) int {
-	best := f.buses[0].Distance(src, dst)
-	for _, b := range f.buses[1:] {
-		if d := b.Distance(src, dst); d < best {
-			best = d
-		}
-	}
-	return best
+	return int(f.minDist[src*f.n+dst])
 }
+
+// MinDistances exposes the precomputed n×n distance matrix (row-major by
+// source). The core caches it to answer per-operand steering queries
+// without an extra indirection; callers must not modify it.
+func (f *Fabric) MinDistances() []int8 { return f.minDist }
 
 // TrySend attempts to inject a message from src to dst at cycle now on the
 // bus that yields the earliest arrival among those that can inject this
 // cycle. It returns the arrival cycle and the hop distance travelled, or
 // ok=false if every suitable bus is busy.
 func (f *Fabric) TrySend(now uint64, src, dst int) (arrival uint64, dist int, ok bool) {
+	if len(f.buses) == 1 {
+		// Single bus: check-and-reserve in one pass.
+		b := f.buses[0]
+		if !b.CanInject(now, src, dst) {
+			return 0, 0, false
+		}
+		d := b.Distance(src, dst)
+		return b.Inject(now, src, dst), d, true
+	}
 	bestBus := -1
 	bestArrival := uint64(0)
 	for i, b := range f.buses {

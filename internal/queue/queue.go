@@ -65,6 +65,7 @@ func (b *Bounded[T]) Clear() { b.items = b.items[:0] }
 // slots that survive pops of older entries... indices grow monotonically.
 type Ring[T any] struct {
 	buf   []T
+	mask  uint64 // len(buf)-1 when the capacity is a power of two, else 0
 	head  uint64 // absolute index of oldest element
 	count int
 }
@@ -74,7 +75,24 @@ func NewRing[T any](capacity int) *Ring[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: non-positive capacity %d", capacity))
 	}
-	return &Ring[T]{buf: make([]T, capacity)}
+	return &Ring[T]{buf: make([]T, capacity), mask: pow2Mask(capacity)}
+}
+
+// pow2Mask returns capacity-1 when capacity is a power of two, else 0.
+func pow2Mask(capacity int) uint64 {
+	if capacity&(capacity-1) == 0 {
+		return uint64(capacity - 1)
+	}
+	return 0
+}
+
+// slot maps an absolute index to a buffer position. Pipeline capacities
+// are powers of two in practice, turning the modulo into a mask.
+func (r *Ring[T]) slot(idx uint64) int {
+	if r.mask != 0 {
+		return int(idx & r.mask)
+	}
+	return int(idx % uint64(len(r.buf)))
 }
 
 // Len returns the number of elements.
@@ -104,9 +122,22 @@ func (r *Ring[T]) Push(v T) (idx uint64, ok bool) {
 		return 0, false
 	}
 	idx = r.head + uint64(r.count)
-	r.buf[idx%uint64(len(r.buf))] = v
+	r.buf[r.slot(idx)] = v
 	r.count++
 	return idx, true
+}
+
+// PushRef claims the next slot and returns a pointer to it for in-place
+// construction, avoiding a pass-by-value copy. The slot may hold a stale
+// element (see Drop); the caller must overwrite it entirely. ok is false
+// when full.
+func (r *Ring[T]) PushRef() (p *T, ok bool) {
+	if r.count >= len(r.buf) {
+		return nil, false
+	}
+	p = &r.buf[r.slot(r.head+uint64(r.count))]
+	r.count++
+	return p, true
 }
 
 // Pop removes and returns the oldest element. ok is false when empty.
@@ -114,12 +145,24 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 	if r.count == 0 {
 		return v, false
 	}
-	v = r.buf[r.head%uint64(len(r.buf))]
+	s := r.slot(r.head)
+	v = r.buf[s]
 	var zero T
-	r.buf[r.head%uint64(len(r.buf))] = zero
+	r.buf[s] = zero
 	r.head++
 	r.count--
 	return v, true
+}
+
+// Drop removes the oldest element without returning it. Unlike Pop it
+// does not clear the vacated slot — element types holding pointers should
+// prefer Pop so the slot does not retain garbage.
+func (r *Ring[T]) Drop() {
+	if r.count == 0 {
+		panic("queue: Drop on empty ring")
+	}
+	r.head++
+	r.count--
 }
 
 // Peek returns a pointer to the oldest element, or nil when empty.
@@ -127,7 +170,7 @@ func (r *Ring[T]) Peek() *T {
 	if r.count == 0 {
 		return nil
 	}
-	return &r.buf[r.head%uint64(len(r.buf))]
+	return &r.buf[r.slot(r.head)]
 }
 
 // AtAbs returns a pointer to the element at absolute index idx. It panics
@@ -136,10 +179,27 @@ func (r *Ring[T]) AtAbs(idx uint64) *T {
 	if idx < r.head || idx >= r.head+uint64(r.count) {
 		panic(fmt.Sprintf("queue: absolute index %d outside [%d,%d)", idx, r.head, r.head+uint64(r.count)))
 	}
-	return &r.buf[idx%uint64(len(r.buf))]
+	return &r.buf[r.slot(idx)]
 }
 
 // Contains reports whether absolute index idx addresses a live element.
 func (r *Ring[T]) Contains(idx uint64) bool {
 	return idx >= r.head && idx < r.head+uint64(r.count)
+}
+
+// ResetRing returns an empty ring with the given capacity, reusing r's
+// buffer when the capacity matches (absolute indices restart at zero).
+// A nil r allocates a fresh ring.
+func ResetRing[T any](r *Ring[T], capacity int) *Ring[T] {
+	if r == nil || len(r.buf) != capacity {
+		return NewRing[T](capacity)
+	}
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.mask = pow2Mask(capacity)
+	r.head = 0
+	r.count = 0
+	return r
 }

@@ -12,6 +12,7 @@ package regfile
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -26,6 +27,7 @@ type Files struct {
 	n        int
 	capacity [2]int // per kind
 	used     [MaxClusters][2]int
+	total    [2]int // running sum of used over clusters, per kind
 
 	// Stats
 	AllocCount   [2]uint64
@@ -44,6 +46,19 @@ func New(n, capInt, capFP int) *Files {
 		panic("regfile: non-positive capacity")
 	}
 	return &Files{n: n, capacity: [2]int{capInt, capFP}}
+}
+
+// Reset re-dimensions the files and clears all occupancy and statistics,
+// leaving the struct as New would have built it. Argument validation
+// matches New.
+func (f *Files) Reset(n, capInt, capFP int) {
+	if n < 1 || n > MaxClusters {
+		panic(fmt.Sprintf("regfile: %d clusters out of range", n))
+	}
+	if capInt < 1 || capFP < 1 {
+		panic("regfile: non-positive capacity")
+	}
+	*f = Files{n: n, capacity: [2]int{capInt, capFP}}
 }
 
 // N returns the number of clusters.
@@ -75,6 +90,7 @@ func (f *Files) Alloc(c int, kind isa.RegFileKind) bool {
 		return false
 	}
 	f.used[c][kind]++
+	f.total[kind]++
 	f.AllocCount[kind]++
 	return true
 }
@@ -86,26 +102,24 @@ func (f *Files) Release(c int, kind isa.RegFileKind) {
 		panic(fmt.Sprintf("regfile: release on empty file (cluster %d, %v)", c, kind))
 	}
 	f.used[c][kind]--
+	f.total[kind]--
 	f.ReleaseCount[kind]++
 }
 
 // ReleaseMask returns one register of the namespace in every cluster whose
 // bit is set in mask.
 func (f *Files) ReleaseMask(mask uint32, kind isa.RegFileKind) {
-	for c := 0; c < f.n; c++ {
-		if mask&(1<<uint(c)) != 0 {
-			f.Release(c, kind)
-		}
+	for mask != 0 {
+		c := bits.TrailingZeros32(mask)
+		mask &= mask - 1
+		f.Release(c, kind)
 	}
 }
 
-// TotalUsed sums allocated registers of the namespace over all clusters.
+// TotalUsed returns the allocated registers of the namespace summed over
+// all clusters (maintained incrementally; called twice per dispatch).
 func (f *Files) TotalUsed(kind isa.RegFileKind) int {
-	t := 0
-	for c := 0; c < f.n; c++ {
-		t += f.used[c][kind]
-	}
-	return t
+	return f.total[kind]
 }
 
 // MostFree returns the cluster among those whose bit is set in mask with

@@ -23,6 +23,7 @@ package steering
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -81,13 +82,11 @@ func allMask(n int) uint32 { return uint32(1)<<uint(n) - 1 }
 
 // mostFree returns the cluster with the most free registers of the given
 // kind among those selected by mask, breaking ties toward lower indices.
+// Only set bits are visited (copy masks are usually 1-2 bits wide).
 func mostFree(v View, mask uint32, kind isa.RegFileKind) int {
 	best, bestFree := -1, math.MinInt
-	n := v.NumClusters()
-	for c := 0; c < n; c++ {
-		if mask&(1<<uint(c)) == 0 {
-			continue
-		}
+	for m := mask & allMask(v.NumClusters()); m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
 		if f := v.FreeRegs(c, kind); f > bestFree {
 			best, bestFree = c, f
 		}
@@ -102,11 +101,8 @@ func minDistTo(v View, mask uint32, dst int) int {
 		return 0
 	}
 	best := math.MaxInt
-	n := v.NumClusters()
-	for s := 0; s < n; s++ {
-		if mask&(1<<uint(s)) == 0 {
-			continue
-		}
+	for m := mask & allMask(v.NumClusters()); m != 0; m &= m - 1 {
+		s := bits.TrailingZeros32(m)
 		if d := v.CommDistance(s, dst); d < best {
 			best = d
 		}
@@ -203,11 +199,16 @@ func DefaultConvConfig() ConvConfig {
 }
 
 // Conv is the baseline policy of Section 4.1: dependence-based steering
-// with DCOUNT workload-imbalance control.
+// with DCOUNT workload-imbalance control. The DCOUNT extrema (and the
+// least-loaded cluster) are maintained incrementally by OnDispatch and
+// Tick — the only mutators — so the per-Choose imbalance test is O(1)
+// instead of a counter scan.
 type Conv struct {
 	cfg    ConvConfig
 	dcount []float64
 	ticks  int
+	mn, mx float64 // cached min/max over dcount
+	minIdx int     // lowest cluster index achieving mn
 }
 
 // NewConv returns the conventional policy for n clusters.
@@ -229,29 +230,30 @@ func (*Conv) Name() string { return "conv-dcount" }
 func (cv *Conv) DCount(c int) float64 { return cv.dcount[c] }
 
 // Imbalance returns max(DCOUNT) - min(DCOUNT).
-func (cv *Conv) Imbalance() float64 {
-	mn, mx := cv.dcount[0], cv.dcount[0]
-	for _, d := range cv.dcount[1:] {
-		if d < mn {
-			mn = d
+func (cv *Conv) Imbalance() float64 { return cv.mx - cv.mn }
+
+// rescan recomputes the cached extrema from the counters.
+func (cv *Conv) rescan() {
+	cv.mn, cv.mx, cv.minIdx = cv.dcount[0], cv.dcount[0], 0
+	for i, d := range cv.dcount[1:] {
+		if d < cv.mn {
+			cv.mn, cv.minIdx = d, i+1
 		}
-		if d > mx {
-			mx = d
+		if d > cv.mx {
+			cv.mx = d
 		}
 	}
-	return mx - mn
 }
 
 // leastLoaded returns the cluster with the lowest DCOUNT among mask.
 func (cv *Conv) leastLoaded(mask uint32) int {
+	dc := cv.dcount
 	best := -1
 	bestD := math.Inf(1)
-	for c := range cv.dcount {
-		if mask&(1<<uint(c)) == 0 {
-			continue
-		}
-		if cv.dcount[c] < bestD {
-			best, bestD = c, cv.dcount[c]
+	for m := mask & allMask(len(dc)); m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
+		if dc[c] < bestD {
+			best, bestD = c, dc[c]
 		}
 	}
 	return best
@@ -264,7 +266,7 @@ func (cv *Conv) Choose(v View, req *Request) int {
 	// "If the workload imbalance is higher than the threshold: the least
 	// loaded cluster is chosen (that with lower DCOUNT value)."
 	if cv.Imbalance() > cv.cfg.Threshold {
-		return cv.leastLoaded(all)
+		return cv.minIdx
 	}
 	var selected uint32
 	pending := uint32(0)
@@ -312,14 +314,23 @@ func (cv *Conv) Choose(v View, req *Request) int {
 // OnDispatch updates DCOUNT: the dispatched-to cluster gains relative to
 // every other cluster, keeping the counter sum at zero.
 func (cv *Conv) OnDispatch(c int) {
-	n := float64(len(cv.dcount))
-	for i := range cv.dcount {
+	dc := cv.dcount
+	n := float64(len(dc))
+	mn, mx, minIdx := math.Inf(1), math.Inf(-1), 0
+	for i := range dc {
+		d := dc[i] - 1
 		if i == c {
-			cv.dcount[i] += n - 1
-		} else {
-			cv.dcount[i]--
+			d = dc[i] + (n - 1)
+		}
+		dc[i] = d
+		if d < mn {
+			mn, minIdx = d, i
+		}
+		if d > mx {
+			mx = d
 		}
 	}
+	cv.mn, cv.mx, cv.minIdx = mn, mx, minIdx
 }
 
 // Tick decays the counters every DecayPeriod cycles so that ancient
@@ -331,6 +342,7 @@ func (cv *Conv) Tick() {
 		for i := range cv.dcount {
 			cv.dcount[i] *= cv.cfg.DecayFactor
 		}
+		cv.rescan()
 	}
 }
 

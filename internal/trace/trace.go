@@ -46,6 +46,19 @@ func (s *Slice) Next() (isa.Inst, error) {
 	return in, nil
 }
 
+// NextRef returns a pointer to the next instruction, or nil when the
+// stream is exhausted. The pointee is shared, immutable storage: callers
+// must not modify it. The simulator's fetch stage uses this to avoid
+// copying the full record per instruction.
+func (s *Slice) NextRef() *isa.Inst {
+	if s.pos >= len(s.insts) {
+		return nil
+	}
+	in := &s.insts[s.pos]
+	s.pos++
+	return in
+}
+
 // Reset rewinds the stream to the beginning.
 func (s *Slice) Reset() { s.pos = 0 }
 

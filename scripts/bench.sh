@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Run the figure benchmarks and append a BENCH_<n>.json snapshot to the
+# repository root. Arguments are passed through to cmd/benchrec, e.g.:
+#
+#   scripts/bench.sh                    # headline pair, 2 iterations each
+#   scripts/bench.sh -benchtime 1x     # quick smoke snapshot
+#   scripts/bench.sh -all -note "post-wakeup-refactor"
+#
+# For A/B comparisons prefer `go test -bench=. -benchmem -count=10` piped
+# into benchstat (see docs/performance.md).
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchrec "$@"
