@@ -29,6 +29,11 @@ func BenchmarkFig12WireScaling(b *testing.B)  { bench.Fig12WireScaling(b) }
 func BenchmarkFig13SSASpeedup(b *testing.B)   { bench.Fig13SSASpeedup(b) }
 func BenchmarkFig14SSANReady(b *testing.B)    { bench.Fig14SSANReady(b) }
 
+// --- service / fleet benchmarks ---
+
+func BenchmarkSweepSingleNode(b *testing.B)    { bench.SweepSingleNode(b) }
+func BenchmarkSweepFleet2Workers(b *testing.B) { bench.SweepFleet2Workers(b) }
+
 // --- component micro-benchmarks ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) { bench.SimulatorThroughput(b) }

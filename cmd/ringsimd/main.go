@@ -10,10 +10,18 @@
 //
 //	ringsimd [-addr :8080] [-workers N] [-queue N]
 //	         [-cache-dir DIR] [-mem-entries N] [-pprof-addr HOST:PORT]
+//	         [-fleet] [-lease-ttl 30s] [-heartbeat 10s]
 //
 // With -cache-dir the cache is tiered: an in-memory LRU in front of an
 // on-disk content-addressed store that survives restarts. Without it,
 // results live only in the LRU.
+//
+// With -fleet the daemon coordinates remote ringsim-worker processes
+// (see cmd/ringsim-worker): all queued work is sharded across registered
+// workers under -lease-ttl leases, with the local -workers pool as
+// fallback. -workers -1 makes it a dispatch-only coordinator that never
+// simulates locally. A fleet with zero registered workers behaves
+// exactly like a plain daemon.
 //
 // With -pprof-addr (off by default) a second HTTP listener serves
 // net/http/pprof on that address, so service-side hot spots can be
@@ -33,18 +41,23 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/results"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "local simulation worker-pool size (-1 with -fleet = dispatch-only, no local simulations)")
 	queue := flag.Int("queue", 256, "job queue depth (single runs beyond it get 503; sweeps of any size trickle through)")
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
 	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	fleetMode := flag.Bool("fleet", false, "coordinate remote ringsim-worker processes via /v1/fleet")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "fleet: how long a worker holds a leased job without heartbeating before it is requeued")
+	heartbeat := flag.Duration("heartbeat", 0, "fleet: heartbeat cadence assigned to workers (0 = lease-ttl/3)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -56,7 +69,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringsimd:", err)
 		os.Exit(2)
 	}
-	srv, err := server.New(server.Options{Workers: *workers, QueueDepth: *queue, Store: store})
+	opts := server.Options{Workers: *workers, QueueDepth: *queue, Store: store}
+	if *fleetMode {
+		opts.Fleet = &fleet.CoordinatorOptions{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeat}
+	} else if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "ringsimd: -workers -1 (dispatch-only) requires -fleet")
+		os.Exit(2)
+	}
+	srv, err := server.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringsimd:", err)
 		os.Exit(2)
@@ -68,8 +88,12 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
-	log.Printf("ringsimd: listening on %s (%d workers, queue %d, cache %s)",
-		*addr, *workers, *queue, desc)
+	mode := "single-process"
+	if *fleetMode {
+		mode = fmt.Sprintf("fleet coordinator (lease TTL %s)", *leaseTTL)
+	}
+	log.Printf("ringsimd: listening on %s (%d local workers, queue %d, cache %s, %s)",
+		*addr, *workers, *queue, desc, mode)
 	select {
 	case <-ctx.Done():
 		// Drain gracefully: stop the listener, then let queued and

@@ -1,0 +1,155 @@
+// Command fleet demonstrates the distributed simulation fleet in one
+// process: it starts a dispatch-only coordinator (a ringsimd with -fleet
+// and no local workers), attaches two in-process workers to it over real
+// HTTP, submits the paper's Figure 6 grid as one sweep, and shows the
+// work sharding across the workers while the results come back
+// byte-identical to local execution.
+//
+//	go run ./examples/fleet [-insts 300000] [-warmup 50000] [-capacity N]
+//
+// The same topology runs across machines with the real binaries:
+//
+//	ringsimd -fleet -workers -1 -cache-dir /var/cache/ringsim
+//	ringsim-worker -coordinator http://coordinator:8080   # on each node
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	insts := flag.Uint64("insts", 300_000, "measured instructions per program")
+	warmup := flag.Uint64("warmup", 50_000, "warm-up instructions (not measured)")
+	capacity := flag.Int("capacity", max(1, runtime.GOMAXPROCS(0)/2), "concurrent simulations per worker")
+	flag.Parse()
+
+	// Coordinator: no local workers, so every simulation must travel the
+	// fleet protocol.
+	srv, err := server.New(server.Options{
+		Workers: -1,
+		Store:   results.NewMemoryLRU(4096),
+		Fleet:   &fleet.CoordinatorOptions{LeaseTTL: 10 * time.Second},
+	})
+	if err != nil {
+		fail(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() { hs.Close(); srv.Close() }()
+	fmt.Printf("coordinator: %s (dispatch-only)\n", hs.URL)
+
+	// Two workers, as if two machines had each run ringsim-worker.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workers := make([]*fleet.Worker, 2)
+	for i := range workers {
+		workers[i] = fleet.NewWorker(fleet.WorkerOptions{
+			Coordinator:  hs.URL,
+			Name:         fmt.Sprintf("node-%d", i+1),
+			Capacity:     *capacity,
+			PollInterval: 20 * time.Millisecond,
+		})
+		go func(w *fleet.Worker) {
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				fail(err)
+			}
+		}(workers[i])
+	}
+	fmt.Printf("workers: 2 × capacity %d\n\n", *capacity)
+
+	configs := harness.PaperConfigs()
+	wire := make([]map[string]core.Config, len(configs))
+	for i, c := range configs {
+		wire[i] = map[string]core.Config{"config": c}
+	}
+	body, err := json.Marshal(map[string]any{
+		"configs":  wire,
+		"programs": workload.Names(),
+		"insts":    *insts,
+		"warmup":   *warmup,
+	})
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+	}
+	var sw struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Total  int    `json:"total"`
+		Done   int    `json:"done"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		fail(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted %s: %d runs over the Figure 6 grid\n", sw.ID, sw.Total)
+
+	for sw.Status == "running" || sw.Status == "queued" {
+		time.Sleep(200 * time.Millisecond)
+		r, err := http.Get(hs.URL + "/v1/sweeps/" + sw.ID)
+		if err != nil {
+			fail(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&sw); err != nil {
+			fail(err)
+		}
+		r.Body.Close()
+		a, b := workers[0].Stats(), workers[1].Stats()
+		fmt.Printf("  %d/%d done — node-1: %d, node-2: %d\r", sw.Done, sw.Total, a.Executed, b.Executed)
+	}
+	fmt.Printf("\nsweep %s in %s\n\n", sw.Status, time.Since(start).Round(time.Millisecond))
+
+	a, b := workers[0].Stats(), workers[1].Stats()
+	fmt.Printf("sharding: node-1 executed %d runs, node-2 executed %d runs\n", a.Executed, b.Executed)
+	m := srv.Metrics()
+	fmt.Printf("coordinator: %d remote completions, %d requeues, %d local simulations\n",
+		m.Fleet.RemoteCompleted, m.Fleet.Requeues, m.RunsStarted)
+
+	// Spot-check one record against direct local execution: distribution
+	// must not change a single bit.
+	req := harness.Request{Config: configs[0], Program: workload.Names()[0], Insts: *insts, Warmup: *warmup}
+	want, err := results.FromRun(req, harness.Execute(req))
+	if err != nil {
+		fail(err)
+	}
+	r, err := http.Get(hs.URL + "/v1/runs/" + want.Key)
+	if err != nil {
+		fail(err)
+	}
+	defer r.Body.Close()
+	var rv struct {
+		Result *results.Result `json:"result"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&rv); err != nil {
+		fail(err)
+	}
+	if rv.Result == nil || rv.Result.Stats != want.Stats {
+		fail(fmt.Errorf("fleet record for %s/%s differs from local execution", req.Config.Name, req.Program))
+	}
+	fmt.Printf("verified: %s/%s fleet record is bit-identical to local execution\n",
+		req.Config.Name, req.Program)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// SweepSingleNode measures the Figure 6 grid end-to-end through the
+// simulation service on one process: HTTP submission, bounded queue,
+// local worker pool, content-addressed store. The store is fresh every
+// iteration so each pass simulates the full grid.
+func SweepSingleNode(b *testing.B) {
+	serviceSweep(b, false)
+}
+
+// SweepFleet2Workers measures the same grid through a dispatch-only
+// coordinator and two in-process fleet workers over loopback HTTP — the
+// distributed topology on one machine. Comparing against SweepSingleNode
+// prices the fleet protocol itself (lease/complete round trips, JSON
+// encoding) since both setups share the same cores.
+func SweepFleet2Workers(b *testing.B) {
+	serviceSweep(b, true)
+}
+
+// serviceSweep drives one Figure-6-grid sweep per iteration through a
+// fresh service instance.
+func serviceSweep(b *testing.B, useFleet bool) {
+	b.Helper()
+	programs := workload.Names()
+	configs := harness.PaperConfigs()
+	wire := make([]map[string]core.Config, len(configs))
+	for i, c := range configs {
+		wire[i] = map[string]core.Config{"config": c}
+	}
+	body, err := json.Marshal(map[string]any{
+		"configs": wire, "programs": programs, "insts": Insts, "warmup": Warmup,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := len(configs) * len(programs)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := server.Options{QueueDepth: 512, Store: results.NewMemoryLRU(4096)}
+		if useFleet {
+			opts.Workers = -1
+			opts.Fleet = &fleet.CoordinatorOptions{}
+		}
+		srv, err := server.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		if useFleet {
+			capacity := runtime.GOMAXPROCS(0) / 2
+			if capacity < 1 {
+				capacity = 1
+			}
+			for n := 0; n < 2; n++ {
+				w := fleet.NewWorker(fleet.WorkerOptions{
+					Coordinator:  hs.URL,
+					Name:         fmt.Sprintf("bench-%d", n),
+					Capacity:     capacity,
+					PollInterval: 5 * time.Millisecond,
+				})
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = w.Run(ctx)
+				}()
+			}
+		}
+		if done := driveSweep(b, hs.URL, body); done != total {
+			b.Fatalf("sweep finished %d/%d members", done, total)
+		}
+		cancel()
+		wg.Wait()
+		hs.Close()
+		srv.Close()
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+// driveSweep submits one sweep and polls it to completion, returning the
+// number of members that finished successfully.
+func driveSweep(b *testing.B, base string, body []byte) int {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sv struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Done   int    `json:"done"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sv)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for sv.Status == "running" || sv.Status == "queued" {
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/sweeps/" + sv.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&sv)
+		r.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sv.Status != "done" {
+		b.Fatalf("sweep ended %s", sv.Status)
+	}
+	return sv.Done
+}

@@ -37,6 +37,8 @@ func Specs() []Spec {
 		{Name: "Fig12WireScaling", Fn: Fig12WireScaling},
 		{Name: "Fig13SSASpeedup", Fn: Fig13SSASpeedup},
 		{Name: "Fig14SSANReady", Fn: Fig14SSANReady},
+		{Name: "SweepSingleNode", Fn: SweepSingleNode},
+		{Name: "SweepFleet2Workers", Fn: SweepFleet2Workers},
 		{Name: "WorkloadGenerator", Fn: WorkloadGenerator},
 		{Name: "BusReservation", Fn: BusReservation},
 		{Name: "Predictor", Fn: Predictor},

@@ -1,0 +1,430 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/results"
+)
+
+// CoordinatorOptions tunes lease and liveness behavior. The zero value
+// gets production defaults; tests shrink the durations to milliseconds.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a leased job survives without a heartbeat
+	// before it is requeued. Default: 30s.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the cadence workers are told to heartbeat at.
+	// Default: LeaseTTL / 3.
+	HeartbeatEvery time.Duration
+	// WorkerExpiry is how long a silent worker stays registered; an
+	// expired worker is dropped and its leases requeued immediately.
+	// Default: 2 × LeaseTTL.
+	WorkerExpiry time.Duration
+	// SweepEvery is the requeue sweeper's tick. Default: LeaseTTL / 4,
+	// clamped to [10ms, 1s].
+	SweepEvery time.Duration
+	// MaxLeaseBatch caps jobs granted in one lease call regardless of the
+	// worker's ask. Default: 64.
+	MaxLeaseBatch int
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// withDefaults fills unset options.
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = o.LeaseTTL / 3
+	}
+	if o.WorkerExpiry <= 0 {
+		o.WorkerExpiry = 2 * o.LeaseTTL
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.LeaseTTL / 4
+		if o.SweepEvery < 10*time.Millisecond {
+			o.SweepEvery = 10 * time.Millisecond
+		}
+		if o.SweepEvery > time.Second {
+			o.SweepEvery = time.Second
+		}
+	}
+	if o.MaxLeaseBatch <= 0 {
+		o.MaxLeaseBatch = 64
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// ErrUnknownWorker is returned for calls naming an unregistered (or
+// expired) worker id; the worker's recovery is to re-register.
+var ErrUnknownWorker = errors.New("fleet: unknown worker")
+
+// errClosed refuses work after Stop.
+var errClosed = errors.New("fleet: coordinator stopped")
+
+// job is one distributable run while the coordinator owns it.
+type job struct {
+	j results.Job
+	// worker and expires are set while leased; a requeued job returns to
+	// pending with both cleared.
+	worker  string
+	expires time.Time
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	capacity int
+	lastSeen time.Time
+	// leased holds the keys this worker currently leases.
+	leased map[string]bool
+}
+
+// Coordinator owns the distributable-work pool: pending jobs, outstanding
+// leases, and the worker registry. It is the single consumer-side queue
+// when fleet mode is on — the daemon's local workers block on Next while
+// remote workers pull batches via Lease, so whoever is free first wins
+// the next job.
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when pending grows or the pool closes
+	pending []*job     // FIFO; requeued jobs go to the back
+	byKey   map[string]*job
+	workers map[string]*workerState
+	nextID  int
+	closed  bool
+
+	requeues        atomic.Uint64
+	remoteCompleted atomic.Uint64
+
+	stop     chan struct{}
+	sweepers sync.WaitGroup
+}
+
+// NewCoordinator starts a coordinator and its requeue sweeper.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	c := &Coordinator{
+		opts:    opts.withDefaults(),
+		byKey:   make(map[string]*job),
+		workers: make(map[string]*workerState),
+		stop:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.sweepers.Add(1)
+	go c.sweep()
+	return c
+}
+
+// LeaseTTL reports the configured lease TTL.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.opts.LeaseTTL }
+
+// HeartbeatEvery reports the heartbeat cadence workers are assigned.
+func (c *Coordinator) HeartbeatEvery() time.Duration { return c.opts.HeartbeatEvery }
+
+// sweep periodically requeues expired leases and drops expired workers.
+func (c *Coordinator) sweep() {
+	defer c.sweepers.Done()
+	t := time.NewTicker(c.opts.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked()
+			c.mu.Unlock()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// expireLocked requeues every expired lease and prunes dead workers.
+// Callers must hold c.mu.
+func (c *Coordinator) expireLocked() {
+	now := c.opts.now()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.opts.WorkerExpiry {
+			c.dropWorkerLocked(id)
+		}
+	}
+	requeued := false
+	for _, jb := range c.byKey {
+		if jb.worker != "" && now.After(jb.expires) {
+			c.requeueLocked(jb)
+			requeued = true
+		}
+	}
+	if requeued {
+		c.cond.Broadcast()
+	}
+}
+
+// dropWorkerLocked forgets a worker and requeues everything it leased.
+// Callers must hold c.mu.
+func (c *Coordinator) dropWorkerLocked(id string) {
+	w, ok := c.workers[id]
+	if !ok {
+		return
+	}
+	delete(c.workers, id)
+	requeued := false
+	for key := range w.leased {
+		if jb, ok := c.byKey[key]; ok && jb.worker == id {
+			c.requeueLocked(jb)
+			requeued = true
+		}
+	}
+	if requeued {
+		c.cond.Broadcast()
+	}
+}
+
+// requeueLocked returns a leased job to the pending pool. Callers must
+// hold c.mu.
+func (c *Coordinator) requeueLocked(jb *job) {
+	if w, ok := c.workers[jb.worker]; ok {
+		delete(w.leased, jb.j.Key)
+	}
+	jb.worker = ""
+	jb.expires = time.Time{}
+	c.pending = append(c.pending, jb)
+	c.requeues.Add(1)
+}
+
+// Enqueue adds one job to the pending pool. A key already pending or
+// leased is a no-op (the run registry upstream already coalesces on key,
+// so a duplicate here means a requeue raced a late completion).
+func (c *Coordinator) Enqueue(j results.Job) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if _, ok := c.byKey[j.Key]; ok {
+		return false
+	}
+	jb := &job{j: j}
+	c.byKey[j.Key] = jb
+	c.pending = append(c.pending, jb)
+	c.cond.Signal()
+	return true
+}
+
+// Next blocks until a pending job is available and claims it for local
+// execution (no lease: an in-process worker cannot be lost without the
+// whole pool dying with it). It returns ok=false once the coordinator is
+// stopped and the pending pool is drained.
+func (c *Coordinator) Next() (results.Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.pending) == 0 {
+		if c.closed {
+			return results.Job{}, false
+		}
+		c.cond.Wait()
+	}
+	jb := c.pending[0]
+	c.pending = c.pending[1:]
+	delete(c.byKey, jb.j.Key)
+	return jb.j, true
+}
+
+// Register adds a worker and assigns its id. Capacity below 1 is clamped.
+func (c *Coordinator) Register(name string, capacity int) (RegisterResponse, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return RegisterResponse{}, errClosed
+	}
+	c.nextID++
+	id := fmt.Sprintf("worker-%04d", c.nextID)
+	c.workers[id] = &workerState{
+		id: id, name: name, capacity: capacity,
+		lastSeen: c.opts.now(),
+		leased:   make(map[string]bool),
+	}
+	return RegisterResponse{
+		WorkerID:        id,
+		LeaseTTLMillis:  c.opts.LeaseTTL.Milliseconds(),
+		HeartbeatMillis: c.opts.HeartbeatEvery.Milliseconds(),
+	}, nil
+}
+
+// Heartbeat marks the worker alive and renews every lease it holds.
+func (c *Coordinator) Heartbeat(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	now := c.opts.now()
+	w.lastSeen = now
+	for key := range w.leased {
+		if jb, ok := c.byKey[key]; ok && jb.worker == workerID {
+			jb.expires = now.Add(c.opts.LeaseTTL)
+		}
+	}
+	return nil
+}
+
+// Lease grants up to max pending jobs to the worker under the TTL. The
+// grant is additionally capped so a worker never holds more than twice
+// its capacity — one batch executing, one batch queued behind it.
+func (c *Coordinator) Lease(workerID string, max int) ([]results.Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClosed
+	}
+	// Sweep before resolving the caller: a worker silent past its expiry
+	// must be dropped here and told to re-register, never handed leases
+	// under an id the registry no longer holds.
+	c.expireLocked()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	now := c.opts.now()
+	w.lastSeen = now
+	if max <= 0 || max > c.opts.MaxLeaseBatch {
+		max = c.opts.MaxLeaseBatch
+	}
+	if room := 2*w.capacity - len(w.leased); max > room {
+		max = room
+	}
+	var out []results.Job
+	for len(out) < max && len(c.pending) > 0 {
+		jb := c.pending[0]
+		c.pending = c.pending[1:]
+		jb.worker = workerID
+		jb.expires = now.Add(c.opts.LeaseTTL)
+		w.leased[jb.j.Key] = true
+		out = append(out, jb.j)
+	}
+	return out, nil
+}
+
+// Complete settles one returned record. It reports true when the key was
+// an outstanding lease (any worker's — a slow worker may return a job
+// whose lease expired and was re-leased elsewhere; the first completion
+// wins) or still pending after a requeue. False means the coordinator no
+// longer owns the key and the caller should drop the record.
+func (c *Coordinator) Complete(workerID, key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = c.opts.now()
+		delete(w.leased, key)
+	}
+	jb, ok := c.byKey[key]
+	if !ok {
+		return false
+	}
+	if w, ok := c.workers[jb.worker]; ok {
+		delete(w.leased, key)
+	}
+	if jb.worker == "" {
+		// Pending (possibly requeued): remove it from the FIFO.
+		for i, p := range c.pending {
+			if p == jb {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.byKey, key)
+	c.remoteCompleted.Add(1)
+	return true
+}
+
+// Stop refuses new work and wakes local poppers, which drain the pending
+// pool and then exit. Outstanding remote leases are abandoned — the
+// daemon is shutting down, and the runs they name die with its registry.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.stop)
+	c.sweepers.Wait()
+}
+
+// Stats is a point-in-time view of the pool, surfaced as /metrics gauges.
+type Stats struct {
+	// Workers is the number of registered (live) workers.
+	Workers int `json:"workers"`
+	// Capacity is the fleet's summed concurrent-simulation capacity.
+	Capacity int `json:"capacity"`
+	// Pending counts jobs waiting for any worker.
+	Pending int `json:"pending"`
+	// Leased counts jobs currently out under lease.
+	Leased int `json:"leased"`
+	// Requeues counts leases that expired (or died with their worker) and
+	// went back to pending.
+	Requeues uint64 `json:"requeues"`
+	// RemoteCompleted counts records accepted from remote workers.
+	RemoteCompleted uint64 `json:"remote_completed"`
+}
+
+// Stats snapshots the pool.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Workers:         len(c.workers),
+		Pending:         len(c.pending),
+		Leased:          len(c.byKey) - len(c.pending),
+		Requeues:        c.requeues.Load(),
+		RemoteCompleted: c.remoteCompleted.Load(),
+	}
+	for _, w := range c.workers {
+		st.Capacity += w.capacity
+	}
+	return st
+}
+
+// WorkerInfo describes one registered worker for the status endpoint.
+type WorkerInfo struct {
+	ID            string `json:"id"`
+	Name          string `json:"name,omitempty"`
+	Capacity      int    `json:"capacity"`
+	Leases        int    `json:"leases"`
+	LastSeenMsAgo int64  `json:"last_seen_ms_ago"`
+}
+
+// Workers lists registered workers in registration order.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.now()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			ID: w.id, Name: w.name, Capacity: w.capacity,
+			Leases:        len(w.leased),
+			LastSeenMsAgo: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

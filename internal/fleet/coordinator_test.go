@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/results"
+)
+
+// fakeClock is an injectable coordinator clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestCoordinator wires a coordinator onto a fake clock with a slow
+// real-time sweeper, so tests drive expiry deterministically through
+// Lease calls (which sweep inline).
+func newTestCoordinator(t *testing.T, ttl time.Duration) (*Coordinator, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	c := NewCoordinator(CoordinatorOptions{
+		LeaseTTL:   ttl,
+		SweepEvery: time.Hour, // expiry driven via Lease, not wall time
+		now:        clk.now,
+	})
+	t.Cleanup(c.Stop)
+	return c, clk
+}
+
+// testJob builds a verifiable job for program index i.
+func testJob(t *testing.T, i int) results.Job {
+	t.Helper()
+	req := results.NewRequest(harness.Request{
+		Config:  core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+		Program: "gcc",
+		Insts:   uint64(1000 + i),
+		Warmup:  100,
+	})
+	j, err := results.NewJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestLeaseCompleteLifecycle(t *testing.T) {
+	c, _ := newTestCoordinator(t, time.Minute)
+	reg, err := c.Register("w1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.WorkerID == "" || reg.LeaseTTLMillis != 60_000 {
+		t.Fatalf("register: %+v", reg)
+	}
+
+	jobs := make([]results.Job, 5)
+	for i := range jobs {
+		jobs[i] = testJob(t, i)
+		if !c.Enqueue(jobs[i]) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	// Duplicate keys are refused while owned.
+	if c.Enqueue(jobs[0]) {
+		t.Error("duplicate enqueue accepted")
+	}
+
+	// Capacity 2 → at most 4 granted (two batches in flight).
+	got, err := c.Lease(reg.WorkerID, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("leased %d jobs, want 4 (2×capacity)", len(got))
+	}
+	st := c.Stats()
+	if st.Pending != 1 || st.Leased != 4 || st.Workers != 1 {
+		t.Fatalf("stats after lease: %+v", st)
+	}
+
+	for _, j := range got {
+		if !c.Complete(reg.WorkerID, j.Key) {
+			t.Errorf("completion of leased %s rejected", j.Key)
+		}
+	}
+	// A second completion of the same key is a rejected duplicate.
+	if c.Complete(reg.WorkerID, got[0].Key) {
+		t.Error("duplicate completion accepted")
+	}
+	st = c.Stats()
+	if st.Leased != 0 || st.RemoteCompleted != 4 || st.Pending != 1 {
+		t.Fatalf("stats after complete: %+v", st)
+	}
+}
+
+func TestExpiredLeaseRequeues(t *testing.T) {
+	c, clk := newTestCoordinator(t, time.Minute)
+	reg, _ := c.Register("dying", 4)
+	j := testJob(t, 0)
+	c.Enqueue(j)
+	got, err := c.Lease(reg.WorkerID, 1)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("lease: %v, %d jobs", err, len(got))
+	}
+
+	// Within the TTL nothing moves: a second worker sees no work.
+	reg2, _ := c.Register("healthy", 4)
+	if got2, _ := c.Lease(reg2.WorkerID, 1); len(got2) != 0 {
+		t.Fatal("job double-leased before expiry")
+	}
+
+	// A heartbeat renews the lease...
+	clk.advance(45 * time.Second)
+	if err := c.Heartbeat(reg.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(45 * time.Second)
+	if got2, _ := c.Lease(reg2.WorkerID, 1); len(got2) != 0 {
+		t.Fatal("heartbeat did not renew the lease")
+	}
+
+	// ...but silence past the TTL requeues the job to the other worker.
+	clk.advance(2 * time.Minute)
+	got2, err := c.Lease(reg2.WorkerID, 1)
+	if err != nil || len(got2) != 1 || got2[0].Key != j.Key {
+		t.Fatalf("expired lease not requeued: %v, %+v", err, got2)
+	}
+	if st := c.Stats(); st.Requeues != 1 {
+		t.Errorf("requeues = %d, want 1", st.Requeues)
+	}
+
+	// The slow original worker's late completion is now a duplicate only
+	// after the new holder finishes; first completion wins.
+	if !c.Complete(reg.WorkerID, j.Key) {
+		t.Error("first completion (from the slow worker) rejected; should win")
+	}
+	if c.Complete(reg2.WorkerID, j.Key) {
+		t.Error("second completion accepted")
+	}
+}
+
+func TestDeadWorkerIsPrunedAndDrained(t *testing.T) {
+	c, clk := newTestCoordinator(t, time.Minute) // worker expiry 2×TTL
+	reg, _ := c.Register("ghost", 2)
+	j := testJob(t, 0)
+	c.Enqueue(j)
+	if got, _ := c.Lease(reg.WorkerID, 1); len(got) != 1 {
+		t.Fatal("lease failed")
+	}
+	clk.advance(3 * time.Minute)
+	// Any lease call sweeps: the ghost is dropped, its lease requeued.
+	reg2, _ := c.Register("live", 2)
+	got, err := c.Lease(reg2.WorkerID, 1)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("requeued job not leasable: %v, %d", err, len(got))
+	}
+	if st := c.Stats(); st.Workers != 1 {
+		t.Errorf("dead worker still registered: %+v", st)
+	}
+	if err := c.Heartbeat(reg.WorkerID); err != ErrUnknownWorker {
+		t.Errorf("pruned worker heartbeat: %v, want ErrUnknownWorker", err)
+	}
+}
+
+func TestNextDrainsThenStops(t *testing.T) {
+	c, _ := newTestCoordinator(t, time.Minute)
+	keys := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		j := testJob(t, i)
+		keys[j.Key] = true
+		c.Enqueue(j)
+	}
+	done := make(chan []string)
+	go func() {
+		var got []string
+		for {
+			j, ok := c.Next()
+			if !ok {
+				done <- got
+				return
+			}
+			got = append(got, j.Key)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Stop()
+	select {
+	case got := <-done:
+		if len(got) != 3 {
+			t.Fatalf("local pop drained %d jobs, want 3", len(got))
+		}
+		for _, k := range got {
+			if !keys[k] {
+				t.Errorf("popped unknown key %s", k)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not return after Stop")
+	}
+	if c.Enqueue(testJob(t, 9)) {
+		t.Error("Enqueue accepted after Stop")
+	}
+	if _, err := c.Register("late", 1); err == nil {
+		t.Error("Register accepted after Stop")
+	}
+}
+
+func TestWorkersStatusView(t *testing.T) {
+	c, clk := newTestCoordinator(t, time.Minute)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Register(fmt.Sprintf("w%d", i), i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.advance(5 * time.Second)
+	ws := c.Workers()
+	if len(ws) != 3 {
+		t.Fatalf("Workers() = %d entries, want 3", len(ws))
+	}
+	for i, w := range ws {
+		if w.ID != fmt.Sprintf("worker-%04d", i+1) || w.Capacity != i+1 || w.LastSeenMsAgo != 5000 {
+			t.Errorf("worker %d: %+v", i, w)
+		}
+	}
+	if st := c.Stats(); st.Capacity != 6 {
+		t.Errorf("summed capacity = %d, want 6", st.Capacity)
+	}
+}

@@ -1,0 +1,111 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Job is one unit of distributable work: a pending run's wire-form
+// request paired with its content key. The key is redundant with the
+// request — it is recomputable — and that redundancy is the point: both
+// ends of the fleet protocol verify the pair, so a coordinator and a
+// worker whose canonical encodings have drifted apart (mismatched schema
+// versions, a stale binary) fail loudly at the wire instead of silently
+// caching results under the wrong identity.
+type Job struct {
+	Key     string  `json:"key"`
+	Request Request `json:"request"`
+}
+
+// NewJob pairs a request with its content key.
+func NewJob(r Request) (Job, error) {
+	key, err := r.Key()
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{Key: key, Request: r}, nil
+}
+
+// Verify recomputes the request's content key and checks it against the
+// job's claimed key.
+func (j Job) Verify() error {
+	key, err := j.Request.Key()
+	if err != nil {
+		return err
+	}
+	if key != j.Key {
+		return fmt.Errorf("results: job key %s does not match its request (computed %s): mixed schema versions?", j.Key, key)
+	}
+	return nil
+}
+
+// JobBatch is the lease payload: the batch of runs a worker pulls from a
+// coordinator in one round trip.
+type JobBatch struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// Verify checks every member's key against its request's recomputed
+// content hash.
+func (b JobBatch) Verify() error {
+	for i, j := range b.Jobs {
+		if err := j.Verify(); err != nil {
+			return fmt.Errorf("results: job batch [%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Encode renders the batch as JSON after verifying every member.
+func (b JobBatch) Encode() ([]byte, error) {
+	if err := b.Verify(); err != nil {
+		return nil, fmt.Errorf("results: encode: %w", err)
+	}
+	return json.Marshal(b)
+}
+
+// DecodeJobBatch parses and verifies a lease payload: every job's key
+// must match its request's recomputed content hash.
+func DecodeJobBatch(r io.Reader) (JobBatch, error) {
+	var b JobBatch
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return JobBatch{}, fmt.Errorf("results: decode job batch: %w", err)
+	}
+	if err := b.Verify(); err != nil {
+		return JobBatch{}, fmt.Errorf("results: decode: %w", err)
+	}
+	return b, nil
+}
+
+// ResultBatch is the completion payload: the records a worker returns to
+// its coordinator in one round trip.
+type ResultBatch struct {
+	Results []Result `json:"results"`
+}
+
+// Encode renders the batch as JSON, refusing records without a key (a
+// keyless record could never be matched to its lease).
+func (b ResultBatch) Encode() ([]byte, error) {
+	for i, r := range b.Results {
+		if r.Key == "" {
+			return nil, fmt.Errorf("results: encode result batch [%d]: missing key", i)
+		}
+	}
+	return json.Marshal(b)
+}
+
+// DecodeResultBatch parses a completion payload, rejecting keyless
+// records.
+func DecodeResultBatch(r io.Reader) (ResultBatch, error) {
+	var b ResultBatch
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return ResultBatch{}, fmt.Errorf("results: decode result batch: %w", err)
+	}
+	for i, res := range b.Results {
+		if res.Key == "" {
+			return ResultBatch{}, fmt.Errorf("results: decode result batch [%d]: missing key", i)
+		}
+	}
+	return b, nil
+}

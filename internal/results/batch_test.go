@@ -1,0 +1,77 @@
+package results
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenJob builds a verifiable job from the golden request.
+func goldenJob(t *testing.T) Job {
+	t.Helper()
+	j, err := NewJob(NewRequest(goldenRequest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJobBatchRoundTrip(t *testing.T) {
+	j := goldenJob(t)
+	if j.Key != goldenKey {
+		t.Fatalf("NewJob key = %s, want %s", j.Key, goldenKey)
+	}
+	b, err := JobBatch{Jobs: []Job{j}}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJobBatch(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 1 || got.Jobs[0].Key != j.Key || got.Jobs[0].Request.Program != "gcc" {
+		t.Fatalf("round trip mutated the batch: %+v", got)
+	}
+}
+
+// TestJobBatchRejectsKeyMismatch pins the schema-drift guard: a job whose
+// key does not hash from its request must be refused at both ends of the
+// wire.
+func TestJobBatchRejectsKeyMismatch(t *testing.T) {
+	j := goldenJob(t)
+	j.Key = strings.Repeat("0", 64)
+	if _, err := (JobBatch{Jobs: []Job{j}}).Encode(); err == nil {
+		t.Error("Encode accepted a mismatched key")
+	}
+	good := goldenJob(t)
+	b, err := JobBatch{Jobs: []Job{good}}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(b, []byte(good.Key), []byte(j.Key), 1)
+	if _, err := DecodeJobBatch(bytes.NewReader(tampered)); err == nil {
+		t.Error("Decode accepted a mismatched key")
+	}
+}
+
+func TestResultBatchRoundTrip(t *testing.T) {
+	k, r := fakeResult(1)
+	b, err := ResultBatch{Results: []Result{r}}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResultBatch(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Key != k {
+		t.Fatalf("round trip mutated the batch: %+v", got)
+	}
+	// Keyless records are refused on both paths.
+	if _, err := (ResultBatch{Results: []Result{{}}}).Encode(); err == nil {
+		t.Error("Encode accepted a keyless result")
+	}
+	if _, err := DecodeResultBatch(strings.NewReader(`{"results":[{"config":"x"}]}`)); err == nil {
+		t.Error("Decode accepted a keyless result")
+	}
+}

@@ -112,7 +112,10 @@ func (s *Disk) path(key string) (string, error) {
 	return filepath.Join(s.dir, key[:2], key+".json"), nil
 }
 
-// Get implements Store.
+// Get implements Store. A corrupt entry — undecodable bytes, or a decoded
+// record whose key disagrees with its filename — is quarantined and
+// reported as a miss, never as an error: one torn or tampered file must
+// cost a re-simulation, not poison every sweep that touches its key.
 func (s *Disk) Get(key string) (Result, bool, error) {
 	p, err := s.path(key)
 	if err != nil {
@@ -126,10 +129,21 @@ func (s *Disk) Get(key string) (Result, bool, error) {
 		return Result{}, false, fmt.Errorf("results: read %s: %w", key, err)
 	}
 	var r Result
-	if err := json.Unmarshal(b, &r); err != nil {
-		return Result{}, false, fmt.Errorf("results: decode %s: %w", key, err)
+	if err := json.Unmarshal(b, &r); err != nil || r.Key != key {
+		s.quarantine(p)
+		return Result{}, false, nil
 	}
 	return r, true, nil
+}
+
+// quarantine moves a corrupt entry aside so the key reads as a miss and
+// the next Put can land cleanly, while the bad bytes survive for
+// inspection. If the rename fails the file is removed instead; if even
+// that fails the entry stays (and keeps reading as corrupt = miss).
+func (s *Disk) quarantine(p string) {
+	if os.Rename(p, p+".corrupt") != nil {
+		_ = os.Remove(p)
+	}
 }
 
 // Put implements Store.

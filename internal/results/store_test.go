@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -151,5 +152,53 @@ func TestTieredPromotesBackHits(t *testing.T) {
 	}
 	if _, ok, _ := disk.Get(k2); !ok {
 		t.Error("Put skipped the back store")
+	}
+}
+
+// TestDiskCorruptEntryIsMiss is the torn-cache regression: an entry that
+// cannot decode, or decodes to the wrong key, must read as a miss (not an
+// error that would fail every sweep touching it), must be quarantined out
+// of the way, and must be writable again.
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, r := fakeResult(3)
+	cases := []struct {
+		name  string
+		bytes []byte
+	}{
+		{"truncated", []byte(`{"key":"` + k + `","config":"Ring`)},
+		{"garbage", []byte("\x00\x01not json at all")},
+		{"wrong key", []byte(`{"key":"` + strings.Repeat("f", 64) + `"}`)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := filepath.Join(dir, k[:2], k+".json")
+			if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, c.bytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := s.Get(k); err != nil || ok {
+				t.Fatalf("corrupt entry Get = %v, %v; want miss with nil error", ok, err)
+			}
+			// The bad bytes were moved aside, so a fresh Put and Get work.
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry still in place: %v", err)
+			}
+			if err := s.Put(k, r); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, err := s.Get(k); err != nil || !ok || got.Program != r.Program {
+				t.Fatalf("Put after quarantine: %+v, %v, %v", got, ok, err)
+			}
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }

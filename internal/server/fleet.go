@@ -1,0 +1,209 @@
+package server
+
+// Fleet coordinator mode: with Options.Fleet set, the bounded job queue
+// no longer feeds the local worker pool directly. A dispatcher goroutine
+// drains it into the fleet coordinator's pending pool, where local
+// workers (blocking pop) and registered remote workers (TTL leases over
+// POST /v1/fleet/lease) compete for work — whoever is free first wins the
+// next job. Remote records return through POST /v1/fleet/complete and
+// land in the same content-addressed store and run registry as local
+// simulations, so sweeps, explorations, and dedup are executor-blind: a
+// fleet-backed daemon answers byte-identically to a single-process one.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fleet"
+	"repro/internal/results"
+)
+
+// dispatch moves queued content keys into the coordinator's pending pool
+// until the job channel closes. Store hits are settled here, before the
+// work is offered to anyone: a disk-cached run must never ship to a
+// remote worker. Several dispatchers run concurrently (see New).
+func (s *Server) dispatch() {
+	defer s.dispatchWG.Done()
+	for key := range s.jobs {
+		s.dispatchOne(key)
+	}
+}
+
+// dispatchOne resolves one queued key: answered from the store when
+// possible, otherwise enqueued for the worker pool (local and remote).
+func (s *Server) dispatchOne(key string) {
+	s.mu.Lock()
+	st, ok := s.runs[key]
+	if !ok || st.status.terminal() {
+		s.mu.Unlock()
+		return
+	}
+	req := st.req
+	s.mu.Unlock()
+
+	if res, hit, err := s.opts.Store.Get(key); err == nil && hit {
+		s.mu.Lock()
+		if !st.status.terminal() {
+			s.finishLocked(st, res, true)
+		}
+		s.mu.Unlock()
+		s.metrics.CacheHits.Add(1)
+		return
+	}
+	s.fleet.Enqueue(results.Job{Key: key, Request: results.NewRequest(req)})
+}
+
+// fleetWorker is the local fallback executor in fleet mode: it pulls
+// jobs from the same pool remote leases draw from and runs them through
+// the ordinary runOne path.
+func (s *Server) fleetWorker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.fleet.Next()
+		if !ok {
+			return
+		}
+		s.runOne(j.Key)
+	}
+}
+
+// completeRemote lands one remotely-executed record: write-through to the
+// store (successes only, like runOne) and finish the registered run.
+func (s *Server) completeRemote(res results.Result) {
+	s.mu.Lock()
+	st, ok := s.runs[res.Key]
+	if !ok || st.status.terminal() {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	if res.Failed() {
+		s.metrics.RunsFailed.Add(1)
+	} else {
+		s.metrics.RunsCompleted.Add(1)
+		_ = s.opts.Store.Put(res.Key, res)
+	}
+	s.mu.Lock()
+	if !st.status.terminal() {
+		s.finishLocked(st, res, false)
+	}
+	s.mu.Unlock()
+}
+
+// handleFleetRegister admits one worker into the fleet.
+func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
+	var rr fleet.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := s.fleet.Register(rr.Name, rr.Capacity)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleetLease grants a worker its next batch under the lease TTL.
+func (s *Server) handleFleetLease(w http.ResponseWriter, r *http.Request) {
+	var lr fleet.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&lr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	jobs, err := s.fleet.Lease(lr.WorkerID, lr.Max)
+	if err != nil {
+		httpError(w, fleetStatus(err), err)
+		return
+	}
+	// Verify the batch before it ships — the coordinator's half of the
+	// wire-integrity contract (the worker re-verifies on decode). A
+	// mismatch here is a server bug; the refused jobs requeue via lease
+	// expiry.
+	batch := results.JobBatch{Jobs: jobs}
+	if err := batch.Verify(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Leased runs are in flight from the service's point of view.
+	s.mu.Lock()
+	for _, j := range jobs {
+		if st, ok := s.runs[j.Key]; ok && !st.status.terminal() {
+			st.status = statusRunning
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, fleet.LeaseResponse{
+		JobBatch:       batch,
+		LeaseTTLMillis: s.fleet.LeaseTTL().Milliseconds(),
+	})
+}
+
+// handleFleetComplete accepts a batch of finished records. Each is
+// settled against the coordinator first: only keys it still owns
+// (leased, or requeued and pending again) are accepted, so a duplicate
+// completion — or one for a key that already finished elsewhere — is
+// counted rejected and dropped, never overwriting run state.
+func (s *Server) handleFleetComplete(w http.ResponseWriter, r *http.Request) {
+	var cr fleet.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var resp fleet.CompleteResponse
+	for _, res := range cr.Results {
+		if res.Key == "" || !s.fleet.Complete(cr.WorkerID, res.Key) {
+			resp.Rejected++
+			continue
+		}
+		s.completeRemote(res)
+		resp.Accepted++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleetHeartbeat renews a worker's liveness and leases.
+func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hr fleet.HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&hr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.fleet.Heartbeat(hr.WorkerID); err != nil {
+		httpError(w, fleetStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// fleetStatusView is the GET /v1/fleet response body.
+type fleetStatusView struct {
+	Stats           fleet.Stats        `json:"stats"`
+	Workers         []fleet.WorkerInfo `json:"workers"`
+	LeaseTTLMillis  int64              `json:"lease_ttl_ms"`
+	HeartbeatMillis int64              `json:"heartbeat_ms"`
+}
+
+// handleFleetStatus reports the fleet topology for operators.
+func (s *Server) handleFleetStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, fleetStatusView{
+		Stats:           s.fleet.Stats(),
+		Workers:         s.fleet.Workers(),
+		LeaseTTLMillis:  s.fleet.LeaseTTL().Milliseconds(),
+		HeartbeatMillis: s.fleet.HeartbeatEvery().Milliseconds(),
+	})
+}
+
+// fleetStatus maps coordinator errors onto HTTP statuses: an unknown
+// worker is 404 (the client's cue to re-register), a stopped coordinator
+// 503.
+func fleetStatus(err error) int {
+	if errors.Is(err, fleet.ErrUnknownWorker) {
+		return http.StatusNotFound
+	}
+	return http.StatusServiceUnavailable
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+
+	"repro/internal/fleet"
 )
 
 // Metrics counts what the service has done since start. All fields are
@@ -60,6 +62,10 @@ type Snapshot struct {
 	ExplorePoints     uint64 `json:"explore_points"`
 	ExploreSims       uint64 `json:"explore_sims"`
 	ExploreCacheHits  uint64 `json:"explore_cache_hits"`
+
+	// Fleet is the coordinator's pool snapshot; all zeros outside fleet
+	// mode.
+	Fleet fleet.Stats `json:"fleet"`
 }
 
 // CacheHitRatio is the fraction of answered run submissions served from
@@ -86,7 +92,7 @@ func (s Snapshot) ExploreCacheHitRatio() float64 {
 }
 
 // Snapshot captures the current counter values.
-func (m *Metrics) snapshot(queueLen, workers int) Snapshot {
+func (m *Metrics) snapshot(queueLen, workers int, fs fleet.Stats) Snapshot {
 	return Snapshot{
 		RunsSubmitted:   m.RunsSubmitted.Load(),
 		RunsStarted:     m.RunsStarted.Load(),
@@ -103,6 +109,8 @@ func (m *Metrics) snapshot(queueLen, workers int) Snapshot {
 		ExplorePoints:     m.ExplorePoints.Load(),
 		ExploreSims:       m.ExploreSims.Load(),
 		ExploreCacheHits:  m.ExploreCacheHits.Load(),
+
+		Fleet: fs,
 	}
 }
 
@@ -129,6 +137,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ringsimd_explore_cache_hits_total", "Exploration program runs served without simulating.", "counter", snap.ExploreCacheHits},
 		{"ringsimd_queue_len", "Jobs currently waiting in the queue.", "gauge", uint64(snap.QueueLen)},
 		{"ringsimd_workers", "Size of the simulation worker pool.", "gauge", uint64(snap.Workers)},
+		{"ringsimd_fleet_workers", "Remote fleet workers currently registered.", "gauge", uint64(snap.Fleet.Workers)},
+		{"ringsimd_fleet_capacity", "Summed concurrent-simulation capacity of registered workers.", "gauge", uint64(snap.Fleet.Capacity)},
+		{"ringsimd_fleet_pending", "Jobs waiting in the fleet pool for any worker.", "gauge", uint64(snap.Fleet.Pending)},
+		{"ringsimd_fleet_leases_outstanding", "Jobs currently out under a remote lease.", "gauge", uint64(snap.Fleet.Leased)},
+		{"ringsimd_fleet_requeues_total", "Leases that expired or died with their worker and were requeued.", "counter", snap.Fleet.Requeues},
+		{"ringsimd_fleet_remote_runs_total", "Run records accepted from remote workers.", "counter", snap.Fleet.RemoteCompleted},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.val)

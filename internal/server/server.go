@@ -12,6 +12,12 @@
 //	GET  /healthz     liveness + queue depth
 //	GET  /metrics     Prometheus counters
 //
+// With Options.Fleet set the daemon additionally coordinates a fleet of
+// remote workers (POST /v1/fleet/workers|lease|complete|heartbeat, GET
+// /v1/fleet — see internal/fleet and fleet.go): every queued run, sweep
+// member, and exploration evaluation is then offered to local and remote
+// workers alike, whoever is free first.
+//
 // A run's id is the SHA-256 content hash of its canonical request
 // encoding (see internal/results), so identical submissions coalesce: an
 // in-flight duplicate attaches to the running job, and a finished one is
@@ -35,6 +41,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/results"
 	"repro/internal/workload"
@@ -42,8 +49,16 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Workers is the simulation worker-pool size. Default: GOMAXPROCS.
+	// Workers is the local simulation worker-pool size. Default:
+	// GOMAXPROCS. With Fleet set, -1 runs no local workers at all — a
+	// dispatch-only coordinator whose simulations all happen remotely.
 	Workers int
+	// Fleet, when non-nil, enables coordinator mode: the daemon exposes
+	// the /v1/fleet worker protocol and shards all queued work across
+	// registered remote workers, with the local pool as fallback. A fleet
+	// with zero registered workers behaves exactly like a non-fleet
+	// server.
+	Fleet *fleet.CoordinatorOptions
 	// QueueDepth bounds the job queue; direct run submissions beyond it
 	// are refused with 503 (sweep members block-feed instead).
 	// Default: 256.
@@ -130,11 +145,18 @@ type Server struct {
 	wg        sync.WaitGroup // workers
 	feederWG  sync.WaitGroup // sweep feeders and explore enqueuers
 	exploreWG sync.WaitGroup // exploration drivers
+
+	// fleet is the remote-worker coordinator; nil outside fleet mode.
+	fleet      *fleet.Coordinator
+	dispatchWG sync.WaitGroup // the jobs→coordinator dispatcher
 }
 
 // New starts the worker pool and returns a ready server.
 func New(opts Options) (*Server, error) {
-	if opts.Workers <= 0 {
+	switch {
+	case opts.Workers < 0 && opts.Fleet != nil:
+		opts.Workers = 0 // dispatch-only coordinator
+	case opts.Workers <= 0:
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.QueueDepth <= 0 {
@@ -169,9 +191,32 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/explore/{id}", s.handleGetExplore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Fleet != nil {
+		s.fleet = fleet.NewCoordinator(*opts.Fleet)
+		s.mux.HandleFunc("POST /v1/fleet/workers", s.handleFleetRegister)
+		s.mux.HandleFunc("POST /v1/fleet/lease", s.handleFleetLease)
+		s.mux.HandleFunc("POST /v1/fleet/complete", s.handleFleetComplete)
+		s.mux.HandleFunc("POST /v1/fleet/heartbeat", s.handleFleetHeartbeat)
+		s.mux.HandleFunc("GET /v1/fleet", s.handleFleetStatus)
+		// Several dispatchers keep store lookups (disk I/O on a warm
+		// cache-dir) off the critical path; job order is irrelevant —
+		// execution is unordered anyway and views assemble by key.
+		nd := runtime.GOMAXPROCS(0)
+		if nd > 4 {
+			nd = 4
+		}
+		for i := 0; i < nd; i++ {
+			s.dispatchWG.Add(1)
+			go s.dispatch()
+		}
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		if s.fleet != nil {
+			go s.fleetWorker()
+		} else {
+			go s.worker()
+		}
 	}
 	return s, nil
 }
@@ -181,7 +226,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns a snapshot of the service counters.
 func (s *Server) Metrics() Snapshot {
-	return s.metrics.snapshot(len(s.jobs), s.opts.Workers)
+	var fs fleet.Stats
+	if s.fleet != nil {
+		fs = s.fleet.Stats()
+	}
+	return s.metrics.snapshot(len(s.jobs), s.opts.Workers, fs)
 }
 
 // Close stops accepting submissions, stops sweep feeders, drains the
@@ -202,6 +251,15 @@ func (s *Server) Close() {
 	s.exploreWG.Wait()
 	s.feederWG.Wait()
 	close(s.jobs)
+	if s.fleet != nil {
+		// The dispatcher drains the closed channel into the coordinator,
+		// then the coordinator stops: local workers drain the remaining
+		// pending pool and exit. Jobs out under a remote lease at this
+		// point are abandoned — the registry they would complete into is
+		// dying with the process.
+		s.dispatchWG.Wait()
+		s.fleet.Stop()
+	}
 	s.wg.Wait()
 }
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env sh
+# Fleet end-to-end smoke: start a dispatch-only ringsimd coordinator and
+# two ringsim-worker processes on localhost, drive the Figure 6 grid
+# through examples/client twice, and assert (1) the fleet actually
+# executed the first pass remotely and (2) the second pass was answered
+# entirely from the content-addressed cache.
+#
+#   scripts/fleet_smoke.sh [INSTS] [WARMUP]
+#
+# Exits non-zero on any assertion failure. Used by the CI fleet-smoke job.
+set -eu
+cd "$(dirname "$0")/.."
+
+INSTS="${1:-20000}"
+WARMUP="${2:-4000}"
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet-smoke: building binaries"
+go build -o "$TMP/bin/" ./cmd/ringsimd ./cmd/ringsim-worker
+go build -o "$TMP/bin/client" ./examples/client
+
+echo "fleet-smoke: starting coordinator on $ADDR (dispatch-only)"
+"$TMP/bin/ringsimd" -addr "$ADDR" -fleet -workers -1 -lease-ttl 10s \
+    -cache-dir "$TMP/cache" >"$TMP/coordinator.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# Wait for the coordinator to listen, then attach the workers.
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+
+for i in 1 2; do
+    "$TMP/bin/ringsim-worker" -coordinator "$BASE" -name "smoke-$i" \
+        -poll 50ms >"$TMP/worker-$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+done
+workers=0
+for _ in $(seq 1 50); do
+    workers="$(curl -sf "$BASE/v1/fleet" | sed -n 's/.*"workers": \([0-9][0-9]*\).*/\1/p' | head -1)"
+    [ "${workers:-0}" -ge 2 ] && break
+    sleep 0.2
+done
+echo "fleet-smoke: $workers workers registered"
+[ "${workers:-0}" -ge 2 ] || { echo "fleet-smoke: FAIL: workers never registered"; exit 1; }
+
+echo "fleet-smoke: first pass (cold cache)"
+"$TMP/bin/client" -addr "$BASE" -insts "$INSTS" -warmup "$WARMUP" >"$TMP/pass1.log" 2>&1 \
+    || { echo "fleet-smoke: FAIL: first client pass"; cat "$TMP/pass1.log"; exit 1; }
+
+echo "fleet-smoke: second pass (warm cache)"
+"$TMP/bin/client" -addr "$BASE" -insts "$INSTS" -warmup "$WARMUP" >"$TMP/pass2.log" 2>&1 \
+    || { echo "fleet-smoke: FAIL: second client pass"; cat "$TMP/pass2.log"; exit 1; }
+
+metrics="$(curl -sf "$BASE/metrics")"
+metric() {
+    printf '%s\n' "$metrics" | awk -v name="$1" '$1 == name {print $2}'
+}
+
+remote="$(metric ringsimd_fleet_remote_runs_total)"
+hits="$(metric ringsimd_cache_hits_total)"
+started="$(metric ringsimd_runs_started_total)"
+ratio="$(metric ringsimd_cache_hit_ratio)"
+echo "fleet-smoke: remote_runs=$remote cache_hits=$hits local_started=$started hit_ratio=$ratio"
+
+# 260 grid members: pass 1 all remote, pass 2 all cache hits → ratio 0.5.
+[ "${remote:-0}" -ge 260 ] || { echo "fleet-smoke: FAIL: expected >=260 remote runs"; exit 1; }
+[ "${hits:-0}" -ge 260 ] || { echo "fleet-smoke: FAIL: expected >=260 cache hits on the second pass"; exit 1; }
+[ "${started:-0}" -eq 0 ] || { echo "fleet-smoke: FAIL: coordinator simulated locally"; exit 1; }
+awk -v r="${ratio:-0}" 'BEGIN { exit !(r >= 0.45) }' \
+    || { echo "fleet-smoke: FAIL: cache-hit ratio $ratio < 0.45"; exit 1; }
+
+# The Figure 6 table must be identical across passes (cached results are
+# the same records).
+tail -n 8 "$TMP/pass1.log" >"$TMP/tbl1"
+tail -n 8 "$TMP/pass2.log" >"$TMP/tbl2"
+cmp -s "$TMP/tbl1" "$TMP/tbl2" \
+    || { echo "fleet-smoke: FAIL: cached pass printed a different Figure 6 table"; diff "$TMP/tbl1" "$TMP/tbl2" || true; exit 1; }
+
+echo "fleet-smoke: PASS"
