@@ -34,6 +34,11 @@ func BenchmarkFig14SSANReady(b *testing.B)    { bench.Fig14SSANReady(b) }
 func BenchmarkSweepSingleNode(b *testing.B)    { bench.SweepSingleNode(b) }
 func BenchmarkSweepFleet2Workers(b *testing.B) { bench.SweepFleet2Workers(b) }
 
+// --- multi-programmed workload benchmarks ---
+
+func BenchmarkMultiProgram2(b *testing.B) { bench.MultiProgram2(b) }
+func BenchmarkMultiProgram4(b *testing.B) { bench.MultiProgram4(b) }
+
 // --- component micro-benchmarks ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) { bench.SimulatorThroughput(b) }

@@ -9,8 +9,9 @@
 // Usage:
 //
 //	ringsim-worker -coordinator http://host:8080
-//	               [-name NODE] [-capacity N] [-poll 500ms]
-//	               [-cache-dir DIR] [-mem-entries N]
+//	               [-fleet-secret S] [-name NODE] [-capacity N]
+//	               [-poll 500ms] [-cache-dir DIR] [-cache-max-bytes N]
+//	               [-mem-entries N]
 //
 // With -cache-dir the worker fronts its own content-addressed disk
 // cache: a leased key already present locally is completed without
@@ -45,12 +46,14 @@ func main() {
 	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent simulations")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between empty lease attempts")
 	cacheDir := flag.String("cache-dir", "", "worker-local on-disk result cache directory (empty = no local cache)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "size bound for -cache-dir; least-recently-used entries are pruned past it (0 = unbounded)")
+	fleetSecret := flag.String("fleet-secret", "", "shared secret matching the coordinator's -fleet-secret")
 	memEntries := flag.Int("mem-entries", 1024, "in-memory LRU in front of -cache-dir (entries)")
 	flag.Parse()
 
 	var store results.Store
 	if *cacheDir != "" {
-		disk, err := results.NewDisk(*cacheDir)
+		disk, err := results.NewDiskLimit(*cacheDir, *cacheMaxBytes)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ringsim-worker:", err)
 			os.Exit(2)
@@ -61,6 +64,7 @@ func main() {
 
 	w := fleet.NewWorker(fleet.WorkerOptions{
 		Coordinator:  *coordinator,
+		Secret:       *fleetSecret,
 		Name:         *name,
 		Capacity:     *capacity,
 		Store:        store,

@@ -1,11 +1,16 @@
 // Command ringsim simulates one machine configuration on one or more
-// workload programs and prints the per-program statistics.
+// workloads and prints the per-workload statistics. A workload is a
+// spec string (program[:insts][@seed], streams joined with +): a bare
+// program name is the classic single run, "gcc+swim" a multi-programmed
+// 2-stream mix with per-stream IPC reported. -programs a,b runs ONE
+// mix of the named programs (shorthand for -progs a+b).
 //
 // Usage:
 //
 //	ringsim [-arch ring|conv] [-clusters 4|8] [-iw 1|2] [-buses 1|2]
 //	        [-hop N] [-steer enhanced|ssa] [-insts N] [-warmup N]
-//	        [-progs name,name,...|all|int|fp] [-v] [-json]
+//	        [-progs spec,spec,...|all|int|fp] [-programs a,b,...]
+//	        [-v] [-json]
 //
 //	ringsim explore [-axes SPEC] [-strategy grid|random|climb]
 //	        [-budget N] [-samples N] [-seed N] [-progs ...]
@@ -44,9 +49,10 @@ func main() {
 	buses := flag.Int("buses", 1, "number of buses (1 or 2)")
 	hop := flag.Int("hop", 1, "bus latency per hop in cycles")
 	steer := flag.String("steer", "enhanced", "steering: enhanced or ssa")
-	insts := flag.Uint64("insts", 300_000, "measured instructions per program")
+	insts := flag.Uint64("insts", 300_000, "measured instructions per stream")
 	warmup := flag.Uint64("warmup", 50_000, "warm-up instructions (not measured)")
-	progs := flag.String("progs", "all", "programs: comma list, or all/int/fp")
+	progs := flag.String("progs", "all", "workloads run separately: comma list of spec strings (program[:insts][@seed], streams joined with +), or all/int/fp")
+	programs := flag.String("programs", "", "run ONE multi-programmed workload mixing these programs (comma list; overrides -progs)")
 	verbose := flag.Bool("v", false, "print extra statistics")
 	asJSON := flag.Bool("json", false, "emit results as JSON (internal/results encoding)")
 	flag.Parse()
@@ -74,15 +80,33 @@ func main() {
 	}
 
 	var names []string
-	switch strings.ToLower(*progs) {
-	case "all":
-		names = workload.Names()
-	case "int":
-		names = workload.SuiteNames(workload.ClassInt)
-	case "fp":
-		names = workload.SuiteNames(workload.ClassFP)
-	default:
-		names = strings.Split(*progs, ",")
+	if *programs != "" {
+		// One multi-programmed workload: the named programs as concurrent
+		// streams on a single machine.
+		mix := workload.Mix(strings.Split(*programs, ",")...)
+		names = []string{mix.Name()}
+	} else {
+		switch strings.ToLower(*progs) {
+		case "all":
+			names = workload.Names()
+		case "int":
+			names = workload.SuiteNames(workload.ClassInt)
+		case "fp":
+			names = workload.SuiteNames(workload.ClassFP)
+		default:
+			names = strings.Split(*progs, ",")
+		}
+		// Canonicalize each spec string: Grid keys results by the parsed
+		// spec's Name(), so a non-canonical spelling (e.g. "gcc:0") must
+		// be normalized here or its table lookup would silently miss.
+		for i, n := range names {
+			spec, err := workload.ParseSpec(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ringsim:", err)
+				os.Exit(2)
+			}
+			names[i] = spec.Name()
+		}
 	}
 
 	res, err := harness.Grid([]core.Config{cfg}, names, *insts, *warmup)
@@ -99,13 +123,17 @@ func main() {
 	}
 	fmt.Printf("configuration: %s\n", cfg.Name)
 	fmt.Printf("%-10s %7s %8s %7s %7s %8s %8s\n",
-		"program", "IPC", "comms/i", "dist", "wait", "NREADY", "mispred")
+		"workload", "IPC", "comms/i", "dist", "wait", "NREADY", "mispred")
 	for _, p := range names {
-		r := res[harness.Key{Config: cfg.Name, Program: p}]
+		r := res[harness.Key{Config: cfg.Name, Workload: p}]
 		st := r.Stats
 		fmt.Printf("%-10s %7.3f %8.3f %7.2f %7.2f %8.2f %7.1f%%\n",
 			p, st.IPC(), st.CommsPerInst(), st.AvgCommDistance(),
 			st.AvgCommWait(), st.AvgNReady(), 100*st.MispredictRate())
+		for i, ss := range st.PerStream {
+			fmt.Printf("  stream %d %7.3f  committed=%d mispred=%.1f%%\n",
+				i, ss.IPC(st.Cycles), ss.Committed, 100*ss.MispredictRate())
+		}
 		if *verbose {
 			fmt.Printf("           cycles=%d committed=%d loads=%d stores=%d fwd=%d stalls[iq=%d regs=%d rob=%d lsq=%d comm=%d]\n",
 				st.Cycles, st.Committed, st.Loads, st.Stores, st.LoadFwds,
@@ -122,10 +150,13 @@ func main() {
 // emitJSON renders the run set as internal/results records, in program
 // order, on stdout.
 func emitJSON(cfg core.Config, names []string, insts, warmup uint64, res map[harness.Key]harness.Run) error {
-	reqs := harness.Expand([]core.Config{cfg}, names, insts, warmup)
+	reqs, err := harness.Expand([]core.Config{cfg}, names, insts, warmup)
+	if err != nil {
+		return err
+	}
 	out := make([]results.Result, 0, len(reqs))
 	for _, req := range reqs {
-		run := res[harness.Key{Config: req.Config.Name, Program: req.Program}]
+		run := res[harness.Key{Config: req.Config.Name, Workload: req.Workload.Name()}]
 		rec, err := results.FromRun(req, run)
 		if err != nil {
 			return err

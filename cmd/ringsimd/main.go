@@ -9,19 +9,24 @@
 // Usage:
 //
 //	ringsimd [-addr :8080] [-workers N] [-queue N]
-//	         [-cache-dir DIR] [-mem-entries N] [-pprof-addr HOST:PORT]
-//	         [-fleet] [-lease-ttl 30s] [-heartbeat 10s]
+//	         [-cache-dir DIR] [-cache-max-bytes N] [-mem-entries N]
+//	         [-pprof-addr HOST:PORT] [-fleet] [-fleet-secret S]
+//	         [-lease-ttl 30s] [-heartbeat 10s]
 //
 // With -cache-dir the cache is tiered: an in-memory LRU in front of an
 // on-disk content-addressed store that survives restarts. Without it,
-// results live only in the LRU.
+// results live only in the LRU. -cache-max-bytes bounds the disk store:
+// past the bound, least-recently-used entries are pruned (safe — every
+// entry is re-simulatable).
 //
 // With -fleet the daemon coordinates remote ringsim-worker processes
 // (see cmd/ringsim-worker): all queued work is sharded across registered
 // workers under -lease-ttl leases, with the local -workers pool as
 // fallback. -workers -1 makes it a dispatch-only coordinator that never
 // simulates locally. A fleet with zero registered workers behaves
-// exactly like a plain daemon.
+// exactly like a plain daemon. With -fleet-secret every /v1/fleet call
+// must carry the matching X-Fleet-Secret header (worker flag of the
+// same name) or it is refused with 401.
 //
 // With -pprof-addr (off by default) a second HTTP listener serves
 // net/http/pprof on that address, so service-side hot spots can be
@@ -53,9 +58,11 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "local simulation worker-pool size (-1 with -fleet = dispatch-only, no local simulations)")
 	queue := flag.Int("queue", 256, "job queue depth (single runs beyond it get 503; sweeps of any size trickle through)")
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "size bound for -cache-dir; least-recently-used entries are pruned past it (0 = unbounded)")
 	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	fleetMode := flag.Bool("fleet", false, "coordinate remote ringsim-worker processes via /v1/fleet")
+	fleetSecret := flag.String("fleet-secret", "", "shared secret required on every /v1/fleet call (empty = unauthenticated)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "fleet: how long a worker holds a leased job without heartbeating before it is requeued")
 	heartbeat := flag.Duration("heartbeat", 0, "fleet: heartbeat cadence assigned to workers (0 = lease-ttl/3)")
 	flag.Parse()
@@ -64,12 +71,12 @@ func main() {
 		go servePprof(*pprofAddr)
 	}
 
-	store, desc, err := buildStore(*cacheDir, *memEntries)
+	store, desc, err := buildStore(*cacheDir, *memEntries, *cacheMaxBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringsimd:", err)
 		os.Exit(2)
 	}
-	opts := server.Options{Workers: *workers, QueueDepth: *queue, Store: store}
+	opts := server.Options{Workers: *workers, QueueDepth: *queue, Store: store, FleetSecret: *fleetSecret}
 	if *fleetMode {
 		opts.Fleet = &fleet.CoordinatorOptions{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeat}
 	} else if *workers < 0 {
@@ -127,15 +134,18 @@ func servePprof(addr string) {
 }
 
 // buildStore assembles the result cache from the flags.
-func buildStore(dir string, memEntries int) (results.Store, string, error) {
+func buildStore(dir string, memEntries int, maxBytes int64) (results.Store, string, error) {
 	mem := results.NewMemoryLRU(memEntries)
 	if dir == "" {
 		return mem, fmt.Sprintf("memory LRU (%d entries)", memEntries), nil
 	}
-	disk, err := results.NewDisk(dir)
+	disk, err := results.NewDiskLimit(dir, maxBytes)
 	if err != nil {
 		return nil, "", err
 	}
 	desc := fmt.Sprintf("memory LRU (%d entries) over disk %s", memEntries, disk.Dir())
+	if maxBytes > 0 {
+		desc += fmt.Sprintf(" (GC at %d bytes)", maxBytes)
+	}
 	return results.NewTiered(mem, disk), desc, nil
 }

@@ -88,8 +88,8 @@ func main() {
 		if r.Class == "FP" {
 			class = workload.ClassFP
 		}
-		res[harness.Key{Config: r.Config, Program: r.Program}] = harness.Run{
-			Program: r.Program, Class: class, Stats: r.Stats,
+		res[harness.Key{Config: r.Config, Workload: r.Program}] = harness.Run{
+			Workload: r.Program, Class: class, Stats: r.Stats,
 		}
 	}
 	fmt.Println()

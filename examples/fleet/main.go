@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -126,7 +127,7 @@ func main() {
 
 	// Spot-check one record against direct local execution: distribution
 	// must not change a single bit.
-	req := harness.Request{Config: configs[0], Program: workload.Names()[0], Insts: *insts, Warmup: *warmup}
+	req := harness.Request{Config: configs[0], Workload: workload.Single(workload.Names()[0]), Insts: *insts, Warmup: *warmup}
 	want, err := results.FromRun(req, harness.Execute(req))
 	if err != nil {
 		fail(err)
@@ -142,11 +143,11 @@ func main() {
 	if err := json.NewDecoder(r.Body).Decode(&rv); err != nil {
 		fail(err)
 	}
-	if rv.Result == nil || rv.Result.Stats != want.Stats {
-		fail(fmt.Errorf("fleet record for %s/%s differs from local execution", req.Config.Name, req.Program))
+	if rv.Result == nil || !reflect.DeepEqual(rv.Result.Stats, want.Stats) {
+		fail(fmt.Errorf("fleet record for %s/%s differs from local execution", req.Config.Name, req.Workload.Name()))
 	}
 	fmt.Printf("verified: %s/%s fleet record is bit-identical to local execution\n",
-		req.Config.Name, req.Program)
+		req.Config.Name, req.Workload.Name())
 }
 
 func fail(err error) {

@@ -30,7 +30,7 @@ func main() {
 	fmt.Printf("%-10s %28s %8s %10s %8s\n", "program", "configuration", "IPC", "comms/inst", "NREADY")
 	for _, p := range progs {
 		for _, cfg := range configs {
-			st := res[harness.Key{Config: cfg.Name, Program: p}].Stats
+			st := res[harness.Key{Config: cfg.Name, Workload: p}].Stats
 			fmt.Printf("%-10s %28s %8.3f %10.3f %8.2f\n",
 				p, cfg.Name, st.IPC(), st.CommsPerInst(), st.AvgNReady())
 		}

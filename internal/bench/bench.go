@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bpred"
@@ -142,7 +143,7 @@ func Fig11Distribution(b *testing.B) {
 		res := mainGrid(b)
 		worst = 0
 		for _, p := range workload.Names() {
-			r := res[harness.Key{Config: "Ring_8clus_1bus_2IW", Program: p}]
+			r := res[harness.Key{Config: "Ring_8clus_1bus_2IW", Workload: p}]
 			st := r.Stats
 			for c := 0; c < 8; c++ {
 				if s := st.ClusterShare(c); s > worst {
@@ -211,9 +212,9 @@ func Fig14SSANReady(b *testing.B) {
 // trace, pooled machine — for the headline configuration.
 func SimulatorThroughput(b *testing.B) {
 	req := harness.Request{
-		Config:  core.MustPaperConfig(core.ArchRing, 8, 2, 1),
-		Program: "swim",
-		Insts:   50_000,
+		Config:   core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		Workload: workload.Single("swim"),
+		Insts:    50_000,
 	}
 	b.ResetTimer()
 	total := uint64(0)
@@ -226,6 +227,45 @@ func SimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simulated-inst/s")
 }
+
+// multiProgram runs one multi-programmed mix on the headline ring
+// configuration and reports total and per-stream IPC plus simulation
+// throughput.
+func multiProgram(b *testing.B, mix string) {
+	spec, err := workload.ParseSpec(mix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := harness.Request{
+		Config:   core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		Workload: spec,
+		Insts:    Insts,
+		Warmup:   Warmup,
+	}
+	var st core.Stats
+	total := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := harness.Execute(req)
+		if run.Err != nil {
+			b.Fatal(run.Err)
+		}
+		st = run.Stats
+		total += run.Stats.Committed
+	}
+	b.ReportMetric(st.IPC(), "machine-IPC")
+	for i := range st.PerStream {
+		b.ReportMetric(st.StreamIPC(i), fmt.Sprintf("stream%d-IPC", i))
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simulated-inst/s")
+}
+
+// MultiProgram2 measures a 2-stream INT+FP mix (gcc+swim) — the
+// shared-resource scenario that stresses steering hardest.
+func MultiProgram2(b *testing.B) { multiProgram(b, "gcc+swim") }
+
+// MultiProgram4 measures a 4-stream mix spanning both suites.
+func MultiProgram4(b *testing.B) { multiProgram(b, "gcc+swim+mcf+applu") }
 
 // WorkloadGenerator measures trace generation speed.
 func WorkloadGenerator(b *testing.B) {

@@ -39,6 +39,8 @@ func Specs() []Spec {
 		{Name: "Fig14SSANReady", Fn: Fig14SSANReady},
 		{Name: "SweepSingleNode", Fn: SweepSingleNode},
 		{Name: "SweepFleet2Workers", Fn: SweepFleet2Workers},
+		{Name: "MultiProgram2", Fn: MultiProgram2, Headline: true},
+		{Name: "MultiProgram4", Fn: MultiProgram4},
 		{Name: "WorkloadGenerator", Fn: WorkloadGenerator},
 		{Name: "BusReservation", Fn: BusReservation},
 		{Name: "Predictor", Fn: Predictor},

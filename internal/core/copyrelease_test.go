@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/trace"
@@ -65,7 +66,7 @@ func TestReleaseOnReadTradeoff(t *testing.T) {
 func TestReleaseOnReadDeterminism(t *testing.T) {
 	a, _ := runPolicy(t, ReleaseOnRead, "equake", 15000)
 	b, _ := runPolicy(t, ReleaseOnRead, "equake", 15000)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
 	}
 }

@@ -31,6 +31,7 @@ type robEntry struct {
 	class   isa.Class
 	cluster int8
 	state   robState
+	stream  uint8
 
 	numSrcs  int8
 	srcVals  [2]valueID
@@ -74,6 +75,7 @@ type fetchEntry struct {
 	numSrcs    uint8
 	writesReg  bool
 	mispredict bool
+	stream     uint8
 }
 
 // lsqEntry is one memory operation in the load/store queue.
@@ -146,6 +148,47 @@ func (q *iqSide) removeReady(i int) {
 // transit away).
 const eventHorizon = 512
 
+// MaxStreams is how many independent instruction streams one machine can
+// run concurrently (multi-programmed mode). Kept in sync with
+// workload.MaxStreams.
+const MaxStreams = 8
+
+// streamAddrStride separates the streams' address spaces: stream i's PCs
+// and data addresses are offset by i·2^44, far above any generated
+// address, so independent programs never alias in the store-forwarding
+// map and collide in the shared predictor and caches only the way
+// distinct address spaces legitimately do (index bits). Stream 0's offset
+// is zero, keeping single-stream runs bit-identical to the
+// pre-multiprogramming machine.
+const streamAddrStride = uint64(1) << 44
+
+// streamFE is the per-stream front-end state: the stream being fetched
+// and everything the fetch stage tracks about it. One machine owns one
+// streamFE per workload stream; the per-cycle ICOUNT arbitration picks
+// which of them fetches.
+type streamFE struct {
+	stream trace.Stream
+	// sliceSrc is set when stream is a materialized *trace.Slice; fetch
+	// then reads instructions by reference instead of copying each
+	// record through the Stream interface.
+	sliceSrc *trace.Slice
+	// off is the stream's address-space offset (streamAddrStride × index).
+	off uint64
+
+	pendingInst   isa.Inst // fetched but not yet enqueued (stall overflow)
+	scratchInst   isa.Inst // staging buffer for interface-stream fetches
+	havePending   bool
+	fetchBlocked  bool // waiting for a mispredicted branch to resolve
+	fetchResumeAt uint64
+	lastFetchLine uint64
+	haveFetchLine bool
+	streamDone    bool
+
+	// inFlight counts this stream's instructions between fetch and
+	// commit — the ICOUNT the fetch arbitration minimizes.
+	inFlight uint64
+}
+
 // Machine is one simulated processor. Construct with New, drive with Run
 // (or Step for tests). A machine can be recycled across runs with Reset,
 // which reuses every internal allocation it can. Not safe for concurrent
@@ -153,16 +196,16 @@ const eventHorizon = 512
 type Machine struct {
 	cfg             Config
 	statelessChoose bool
-	stream          trace.Stream
-	// sliceSrc is set when stream is a materialized *trace.Slice; fetch
-	// then reads instructions by reference instead of copying each
-	// record through the Stream interface.
-	sliceSrc *trace.Slice
-	alg      steering.Algorithm
-	files    *regfile.Files
-	fabric   *interconnect.Fabric
-	pred     *bpred.Predictor
-	mem      *cache.Hierarchy
+	// fes holds one front end per workload stream; single-program runs
+	// have exactly one. oneStream backs the single-stream Reset path so
+	// recycling a pooled machine stays allocation-free.
+	fes       []streamFE
+	oneStream [1]trace.Stream
+	alg       steering.Algorithm
+	files     *regfile.Files
+	fabric    *interconnect.Fabric
+	pred      *bpred.Predictor
+	mem       *cache.Hierarchy
 
 	vals      valueTable
 	renameMap [2][isa.NumArchRegs]valueID
@@ -217,22 +260,18 @@ type Machine struct {
 	// instruction.
 	steerReq steering.Request
 
-	// front-end state
-	pendingInst    isa.Inst // fetched but not yet enqueued (stall overflow)
-	scratchInst    isa.Inst // staging buffer for interface-stream fetches
-	havePending    bool
-	fetchBlocked   bool // waiting for a mispredicted branch to resolve
-	fetchResumeAt  uint64
-	lastFetchLine  uint64
-	haveFetchLine  bool
+	// front-end state shared across streams (per-stream state lives in
+	// fes).
 	lineShift      uint // log2(L1I line size), fixed at construction
-	streamDone     bool
 	lastCommitAt   uint64
 	dcachePortsUse int
 	err            error // fatal stream error
 
-	stats     Stats
-	statsBase uint64 // cycle at the last ResetStats
+	stats Stats
+	// streamStats holds the per-stream counters; Stats() attaches a copy
+	// for multi-stream runs.
+	streamStats []StreamStats
+	statsBase   uint64 // cycle at the last ResetStats
 }
 
 // New builds a machine over the given instruction stream. The steering
@@ -245,17 +284,55 @@ func New(cfg Config, stream trace.Stream) (*Machine, error) {
 	return m, nil
 }
 
-// Reset rebuilds the machine for a fresh run of cfg over stream, reusing
-// the previous run's allocations wherever the configuration allows. A
-// reset machine is observationally identical to one built with New — the
-// recycled slabs carry no state across runs.
+// NewMulti builds a machine running the given independent instruction
+// streams concurrently (multi-programmed mode): each stream gets its own
+// address-space offset and front-end state, and fetch arbitrates between
+// them by ICOUNT. One stream is exactly New.
+func NewMulti(cfg Config, streams []trace.Stream) (*Machine, error) {
+	m := &Machine{}
+	if err := m.ResetMulti(cfg, streams); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset rebuilds the machine for a fresh single-stream run of cfg over
+// stream, reusing the previous run's allocations wherever the
+// configuration allows. A reset machine is observationally identical to
+// one built with New — the recycled slabs carry no state across runs.
 func (m *Machine) Reset(cfg Config, stream trace.Stream) error {
+	m.oneStream[0] = stream
+	return m.ResetMulti(cfg, m.oneStream[:])
+}
+
+// ResetMulti is Reset over one machine and N concurrent streams.
+func (m *Machine) ResetMulti(cfg Config, streams []trace.Stream) error {
+	if len(streams) == 0 {
+		return fmt.Errorf("core: machine needs at least one stream")
+	}
+	if len(streams) > MaxStreams {
+		return fmt.Errorf("core: %d streams exceeds MaxStreams (%d)", len(streams), MaxStreams)
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	m.cfg = cfg
-	m.stream = stream
-	m.sliceSrc, _ = stream.(*trace.Slice)
+	if cap(m.fes) < len(streams) {
+		m.fes = make([]streamFE, len(streams))
+	}
+	m.fes = m.fes[:len(streams)]
+	for i := range m.fes {
+		fe := &m.fes[i]
+		*fe = streamFE{stream: streams[i], off: uint64(i) * streamAddrStride}
+		fe.sliceSrc, _ = streams[i].(*trace.Slice)
+	}
+	if cap(m.streamStats) < len(streams) {
+		m.streamStats = make([]StreamStats, len(streams))
+	}
+	m.streamStats = m.streamStats[:len(streams)]
+	for i := range m.streamStats {
+		m.streamStats[i] = StreamStats{}
+	}
 
 	if m.files == nil {
 		m.files = regfile.New(cfg.Clusters, cfg.RegsInt, cfg.RegsFP)
@@ -349,14 +426,7 @@ func (m *Machine) Reset(cfg Config, stream trace.Stream) error {
 	m.multDivBusyUntil = [regfile.MaxClusters][2][4]uint64{}
 	m.now = 0
 	m.steerReq = steering.Request{}
-	m.pendingInst = isa.Inst{}
-	m.havePending = false
-	m.fetchBlocked = false
-	m.fetchResumeAt = 0
-	m.lastFetchLine = 0
-	m.haveFetchLine = false
 	m.lineShift = uint(bits.TrailingZeros64(uint64(cfg.Mem.L1I.LineBytes)))
-	m.streamDone = false
 	m.lastCommitAt = 0
 	m.dcachePortsUse = 0
 	m.err = nil
@@ -405,14 +475,32 @@ func resetSides(sides []iqSide, clusters, capacity int) []iqSide {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Stats returns a copy of the statistics gathered so far.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a copy of the statistics gathered so far. Multi-stream
+// machines additionally attach the per-stream breakdown (single-stream
+// machines leave it nil: the totals are the stream).
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	if len(m.fes) > 1 {
+		s.PerStream = append([]StreamStats(nil), m.streamStats...)
+	}
+	return s
+}
+
+// Committed returns the committed-instruction total without copying the
+// stats (the warm-up loop polls it every step).
+func (m *Machine) Committed() uint64 { return m.stats.Committed }
+
+// NumStreams returns how many workload streams the machine is running.
+func (m *Machine) NumStreams() int { return len(m.fes) }
 
 // ResetStats zeroes the statistics counters without disturbing the
 // machine's microarchitectural state. Use it to exclude a warm-up window
 // from measurement.
 func (m *Machine) ResetStats() {
 	m.stats = Stats{}
+	for i := range m.streamStats {
+		m.streamStats[i] = StreamStats{}
+	}
 	m.statsBase = m.now
 }
 
@@ -475,10 +563,18 @@ func (m *Machine) scheduleIQ(robIdx, cycle uint64) {
 	m.iqCal[slot] = append(m.iqCal[slot], robIdx)
 }
 
-// Done reports whether the machine has drained: stream exhausted, fetch
-// queue and ROB empty.
+// Done reports whether the machine has drained: every stream exhausted,
+// fetch queue and ROB empty.
 func (m *Machine) Done() bool {
-	return m.streamDone && !m.havePending && m.fetchQ.Len() == 0 && m.rob.Len() == 0
+	if m.fetchQ.Len() != 0 || m.rob.Len() != 0 {
+		return false
+	}
+	for i := range m.fes {
+		if !m.fes[i].streamDone || m.fes[i].havePending {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrNoProgress is returned by Run when the pipeline stops committing,
@@ -498,10 +594,10 @@ func (m *Machine) Run(maxCycles uint64) (Stats, error) {
 			break
 		}
 		if err := m.Step(); err != nil {
-			return m.stats, err
+			return m.Stats(), err
 		}
 	}
-	return m.stats, nil
+	return m.Stats(), nil
 }
 
 // Step advances the machine one cycle.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/isa"
@@ -163,7 +164,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if s1 != s2 {
+		if !reflect.DeepEqual(s1, s2) {
 			t.Fatalf("%s: nondeterministic statistics:\n%+v\n%+v", arch, s1, s2)
 		}
 	}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// genSlice materializes n instructions of prog (optionally reseeded).
+func genSlice(t *testing.T, prog string, seed uint64, n int) *trace.Slice {
+	t.Helper()
+	prof, err := workload.ByName(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 0 {
+		prof.Seed = seed
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := trace.Collect(trace.NewLimit(gen, uint64(n)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.NewSlice(insts)
+}
+
+// TestMultiEqualsSingleForOneStream: NewMulti with one stream must be the
+// same machine as New — same stats, no per-stream breakdown.
+func TestMultiEqualsSingleForOneStream(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	a, err := New(cfg, genSlice(t, "gcc", 0, 12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMulti(cfg, []trace.Stream{genSlice(t, "gcc", 0, 12000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.PerStream != nil || sb.PerStream != nil {
+		t.Fatal("single-stream run attached a PerStream breakdown")
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("NewMulti(1 stream) diverged from New:\n%+v\n%+v", sa, sb)
+	}
+}
+
+// TestMultiStreamDeterminism: a 2-stream mix must be bit-reproducible.
+func TestMultiStreamDeterminism(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	run := func() Stats {
+		m, err := NewMulti(cfg, []trace.Stream{
+			genSlice(t, "gcc", 0, 9000),
+			genSlice(t, "swim", 0, 9000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("multi-stream run nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMultiStreamAccounting: the per-stream breakdown must partition the
+// machine totals, every stream must drain its full trace, and identical
+// streams must see no cross-stream store-to-load forwarding advantage
+// from address aliasing (their address spaces are offset apart).
+func TestMultiStreamAccounting(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	const n = 8000
+	m, err := NewMulti(cfg, []trace.Stream{
+		genSlice(t, "gcc", 0, n),
+		genSlice(t, "gcc", 0, n), // identical twin: worst case for aliasing
+		genSlice(t, "swim", 0, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerStream) != 3 {
+		t.Fatalf("PerStream has %d entries, want 3", len(st.PerStream))
+	}
+	var committed, dispatched, branches, loads, stores, comms uint64
+	for i, ss := range st.PerStream {
+		if ss.Committed != n {
+			t.Errorf("stream %d committed %d, want %d (stream did not drain)", i, ss.Committed, n)
+		}
+		if ss.IPC(st.Cycles) <= 0 {
+			t.Errorf("stream %d IPC is zero", i)
+		}
+		committed += ss.Committed
+		dispatched += ss.Dispatched
+		branches += ss.Branches
+		loads += ss.Loads
+		stores += ss.Stores
+		comms += ss.Comms
+	}
+	if committed != st.Committed || dispatched != st.Dispatched || branches != st.Branches ||
+		loads != st.Loads || stores != st.Stores || comms != st.Comms {
+		t.Fatalf("per-stream counters do not partition totals: %+v vs %+v", st.PerStream, st)
+	}
+	// The identical twins must behave identically under symmetric
+	// arbitration is too strong (ties break toward stream 0), but their
+	// committed work is equal by construction; their dynamic footprints
+	// must at least be the same trace.
+	if st.PerStream[0].Branches != st.PerStream[1].Branches ||
+		st.PerStream[0].Loads != st.PerStream[1].Loads ||
+		st.PerStream[0].Stores != st.PerStream[1].Stores {
+		t.Errorf("identical twin streams drained different traces: %+v vs %+v",
+			st.PerStream[0], st.PerStream[1])
+	}
+	if st.StreamIPC(0) <= 0 || st.StreamIPC(3) != 0 {
+		t.Errorf("StreamIPC bounds wrong: %v / %v", st.StreamIPC(0), st.StreamIPC(3))
+	}
+}
+
+// TestICOUNTKeepsStreamsBalanced: under a cycle bound (no drain), ICOUNT
+// arbitration must give two identical streams near-equal front-end share
+// rather than starving the one that loses arbitration ties. (Streams of
+// different character may legitimately commit at different rates —
+// ICOUNT equalizes back-end occupancy, not IPC.)
+func TestICOUNTKeepsStreamsBalanced(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	m, err := NewMulti(cfg, []trace.Stream{
+		genSlice(t, "gcc", 0, 200000),
+		genSlice(t, "gcc", 0, 200000), // identical twin
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := float64(st.PerStream[0].Committed), float64(st.PerStream[1].Committed)
+	if a == 0 || b == 0 {
+		t.Fatalf("a stream starved: %v vs %v", a, b)
+	}
+	if ratio := a / b; ratio < 0.67 || ratio > 1.5 {
+		t.Errorf("ICOUNT imbalance between identical twins: %v vs %v (ratio %.2f)", a, b, ratio)
+	}
+}
+
+// TestResetMultiRejectsBadCounts covers the stream-count guards.
+func TestResetMultiRejectsBadCounts(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 4, 2, 1)
+	if _, err := NewMulti(cfg, nil); err == nil {
+		t.Error("zero streams accepted")
+	}
+	streams := make([]trace.Stream, MaxStreams+1)
+	for i := range streams {
+		streams[i] = trace.NewSlice(nil)
+	}
+	if _, err := NewMulti(cfg, streams); err == nil {
+		t.Error("too many streams accepted")
+	}
+}
+
+// TestMachinePoolRecyclesAcrossStreamCounts: a machine that ran a mix
+// must reset cleanly to a single-stream run and vice versa.
+func TestMachinePoolRecyclesAcrossStreamCounts(t *testing.T) {
+	cfg := MustPaperConfig(ArchRing, 8, 2, 1)
+	m, err := NewMulti(cfg, []trace.Stream{
+		genSlice(t, "gcc", 0, 5000),
+		genSlice(t, "swim", 0, 5000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Down to one stream: stats must match a fresh single-stream machine.
+	if err := m.Reset(cfg, genSlice(t, "gcc", 0, 6000)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg, genSlice(t, "gcc", 0, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recycled machine diverged after stream-count change:\n%+v\n%+v", got, want)
+	}
+}

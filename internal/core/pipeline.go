@@ -36,10 +36,13 @@ func (m *Machine) writeback() {
 		}
 		if e.class == isa.Branch {
 			m.stats.Branches++
+			m.streamStats[e.stream].Branches++
 			if e.mispredict {
 				m.stats.Mispredicts++
-				m.fetchBlocked = false
-				m.fetchResumeAt = m.now + 1
+				m.streamStats[e.stream].Mispredicts++
+				fe := &m.fes[e.stream]
+				fe.fetchBlocked = false
+				fe.fetchResumeAt = m.now + 1
 			}
 		}
 	}
@@ -118,6 +121,7 @@ func (m *Machine) commit() {
 				// critical path.
 				m.mem.DataAccess(le.addr, true)
 				m.stats.Stores++
+				m.streamStats[e.stream].Stores++
 				// Retire the forwarding-map entry if this store is still
 				// the youngest for its address, bounding the map to
 				// roughly LSQ occupancy (a stale entry would be ignored
@@ -127,10 +131,13 @@ func (m *Machine) commit() {
 				}
 			} else {
 				m.stats.Loads++
+				m.streamStats[e.stream].Loads++
 			}
 			m.lsq.Drop()
 		}
 		m.stats.Committed++
+		m.streamStats[e.stream].Committed++
+		m.fes[e.stream].inFlight--
 		m.lastCommitAt = m.now
 		m.rob.Drop()
 	}
@@ -556,6 +563,7 @@ func (m *Machine) dispatch() {
 			seq:        fe.seq,
 			class:      fe.class,
 			cluster:    int8(cl),
+			stream:     fe.stream,
 			state:      robWaiting,
 			destVal:    noValue,
 			prevVal:    noValue,
@@ -595,6 +603,7 @@ func (m *Machine) dispatch() {
 				panic("core: comm queue slot vanished after check")
 			}
 			m.stats.Comms++
+			m.streamStats[fe.stream].Comms++
 		}
 		if m.cfg.Copies == ReleaseOnRead {
 			for i := 0; i < req.NumOps; i++ {
@@ -666,6 +675,7 @@ func (m *Machine) dispatch() {
 
 		m.alg.OnDispatch(cl)
 		m.stats.Dispatched++
+		m.streamStats[fe.stream].Dispatched++
 		m.stats.PerCluster[cl]++
 		if u := uint64(m.files.TotalUsed(isa.IntReg)); u > m.stats.PeakRegsInt {
 			m.stats.PeakRegsInt = u
@@ -696,75 +706,115 @@ func (m *Machine) nearestCopy(mask uint32, dst int) int {
 	return best
 }
 
-// fetch pulls instructions from the trace into the fetch queue: up to the
-// fetch width per cycle, stopping at taken branches, stalling on
-// instruction-cache misses, and blocking behind unresolved mispredicted
-// branches (the standard trace-driven front-end model: no wrong-path
-// fetch, misprediction costs resolution time plus pipeline refill).
+// pickFetchStream chooses which stream fetches this cycle: the eligible
+// stream with the fewest in-flight instructions (the SMT ICOUNT policy —
+// it starves streams that hog the back end and keeps the machine's
+// shared structures evenly contended), ties broken toward the lowest
+// stream index. A stream is eligible unless it is blocked behind an
+// unresolved mispredict, waiting out an I-cache miss, or exhausted.
+// Single-stream machines reduce to exactly the historical front end:
+// stream 0 is picked iff it would have fetched.
+func (m *Machine) pickFetchStream() (*streamFE, uint8) {
+	var best *streamFE
+	var bestIdx uint8
+	for i := range m.fes {
+		fe := &m.fes[i]
+		if fe.fetchBlocked || m.now < fe.fetchResumeAt {
+			continue
+		}
+		if fe.streamDone && !fe.havePending {
+			continue
+		}
+		if best == nil || fe.inFlight < best.inFlight {
+			best, bestIdx = fe, uint8(i)
+		}
+	}
+	return best, bestIdx
+}
+
+// fetch pulls instructions from one stream's trace into the fetch queue:
+// up to the fetch width per cycle, stopping at taken branches, stalling
+// on instruction-cache misses, and blocking behind unresolved
+// mispredicted branches (the standard trace-driven front-end model: no
+// wrong-path fetch, misprediction costs resolution time plus pipeline
+// refill). With multiple workload streams, ICOUNT arbitration picks the
+// cycle's stream; a mispredict or I-cache miss blocks only its own
+// stream, and the others compete for the very next cycle.
 func (m *Machine) fetch() {
-	if m.fetchBlocked || m.now < m.fetchResumeAt {
+	sfe, sidx := m.pickFetchStream()
+	if sfe == nil {
 		return
 	}
 	for fetched := 0; fetched < m.cfg.FetchWidth && !m.fetchQ.Full(); {
 		var in *isa.Inst
-		if m.havePending {
-			in = &m.pendingInst
-			m.havePending = false
+		if sfe.havePending {
+			in = &sfe.pendingInst
+			sfe.havePending = false
 		} else {
-			if m.streamDone {
+			if sfe.streamDone {
 				return
 			}
 			// Materialized traces are read in place; other streams copy
 			// through the interface into a staging buffer.
-			if m.sliceSrc != nil {
-				in = m.sliceSrc.NextRef()
+			if sfe.sliceSrc != nil {
+				in = sfe.sliceSrc.NextRef()
 				if in == nil {
-					m.streamDone = true
+					sfe.streamDone = true
 					return
 				}
 			} else {
-				v, err := m.stream.Next()
+				v, err := sfe.stream.Next()
 				if err != nil {
 					if !errors.Is(err, trace.ErrEnd) {
 						m.err = err
 					}
-					m.streamDone = true
+					sfe.streamDone = true
 					return
 				}
-				m.scratchInst = v
-				in = &m.scratchInst
+				sfe.scratchInst = v
+				in = &sfe.scratchInst
 			}
-			line := in.PC >> m.lineShift
-			if !m.haveFetchLine || line != m.lastFetchLine {
-				lat := m.mem.InstFetch(in.PC)
-				m.lastFetchLine = line
-				m.haveFetchLine = true
+			line := (in.PC + sfe.off) >> m.lineShift
+			if !sfe.haveFetchLine || line != sfe.lastFetchLine {
+				lat := m.mem.InstFetch(in.PC + sfe.off)
+				sfe.lastFetchLine = line
+				sfe.haveFetchLine = true
 				if lat > m.cfg.Mem.L1I.HitLatency {
 					// Miss: the line arrives later; hold the
 					// instruction and resume then.
-					m.pendingInst = *in
-					m.havePending = true
-					m.fetchResumeAt = m.now + uint64(lat)
+					sfe.pendingInst = *in
+					sfe.havePending = true
+					sfe.fetchResumeAt = m.now + uint64(lat)
 					return
 				}
 			}
 		}
+		eff := in.EffAddr
+		if in.Class.IsMem() {
+			eff += sfe.off
+		}
 		fe, _ := m.fetchQ.PushRef() // never full: guarded by the loop condition
 		*fe = fetchEntry{
 			seq:       in.Seq,
-			effAddr:   in.EffAddr,
+			effAddr:   eff,
 			readyAt:   m.now + 1 + uint64(m.cfg.SteerLatency),
 			src:       in.Src,
 			dest:      in.Dest,
 			class:     in.Class,
 			numSrcs:   in.NumSrcs,
 			writesReg: in.WritesReg(),
+			stream:    sidx,
 		}
 		fetched++
+		sfe.inFlight++
 		if in.Class.IsBranch() {
-			fe.mispredict = m.pred.Update(in.PC, in.Taken, in.Target)
+			tgt := in.Target
+			if in.Taken {
+				tgt += sfe.off
+			}
+			fe.mispredict = m.pred.Update(in.PC+sfe.off, in.Taken, tgt)
 			if fe.mispredict {
-				m.fetchBlocked = true
+				sfe.fetchBlocked = true
 				return
 			}
 			if in.Taken {

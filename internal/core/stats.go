@@ -56,6 +56,50 @@ type Stats struct {
 	// trade against communication count.
 	PeakRegsInt uint64
 	PeakRegsFP  uint64
+
+	// PerStream breaks the run down by workload stream in stream order.
+	// It is nil for single-stream runs — the machine totals are the
+	// stream — which keeps the encoded Stats of every historical
+	// single-program request byte-identical.
+	PerStream []StreamStats `json:",omitempty"`
+}
+
+// StreamStats is one workload stream's share of a multi-programmed run.
+// Cycles are machine-global (streams share the pipeline), so per-stream
+// IPC is Committed over the machine's Cycles.
+type StreamStats struct {
+	Committed   uint64
+	Dispatched  uint64
+	Comms       uint64
+	Branches    uint64
+	Mispredicts uint64
+	Loads       uint64
+	Stores      uint64
+}
+
+// IPC returns the stream's committed instructions per machine cycle.
+func (s *StreamStats) IPC(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(cycles)
+}
+
+// MispredictRate returns the stream's mispredicted branches per branch.
+func (s *StreamStats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// StreamIPC returns stream i's IPC, or 0 when the run has no per-stream
+// breakdown or i is out of range.
+func (s *Stats) StreamIPC(i int) float64 {
+	if i < 0 || i >= len(s.PerStream) {
+		return 0
+	}
+	return s.PerStream[i].IPC(s.Cycles)
 }
 
 // IPC returns committed instructions per cycle.

@@ -115,9 +115,9 @@ func TestSpaceGridAndNeighbors(t *testing.T) {
 func TestSpaceValidate(t *testing.T) {
 	base := core.MustPaperConfig(core.ArchRing, 4, 2, 1)
 	cases := []Space{
-		{Base: base},                                                    // no axes
-		{Base: base, Axes: []Axis{{Name: "frequency", Values: []int{1}}}}, // unknown
-		{Base: base, Axes: []Axis{{Name: AxisIW}}},                      // empty axis
+		{Base: base}, // no axes
+		{Base: base, Axes: []Axis{{Name: "frequency", Values: []int{1}}}},                              // unknown
+		{Base: base, Axes: []Axis{{Name: AxisIW}}},                                                     // empty axis
 		{Base: base, Axes: []Axis{{Name: AxisIW, Values: []int{1}}, {Name: AxisIW, Values: []int{2}}}}, // dup
 	}
 	for i, s := range cases {

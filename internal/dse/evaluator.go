@@ -9,6 +9,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/results"
+	"repro/internal/workload"
 )
 
 // EvalStats reports how one candidate evaluation was satisfied.
@@ -62,7 +63,11 @@ func (e *SimEvaluator) Evaluate(cfg core.Config) (Objectives, EvalStats, error) 
 	}
 	var sumIPC float64
 	for _, prog := range e.Programs {
-		req := harness.Request{Config: cfg, Program: prog, Insts: e.Insts, Warmup: e.Warmup}
+		spec, err := workload.ParseSpec(prog)
+		if err != nil {
+			return Objectives{}, st, err
+		}
+		req := harness.Request{Config: cfg, Workload: spec, Insts: e.Insts, Warmup: e.Warmup}
 		key, err := results.NewRequest(req).Key()
 		if err != nil {
 			return Objectives{}, st, err

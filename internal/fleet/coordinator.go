@@ -30,6 +30,15 @@ type CoordinatorOptions struct {
 	// MaxLeaseBatch caps jobs granted in one lease call regardless of the
 	// worker's ask. Default: 64.
 	MaxLeaseBatch int
+	// MaxJobAttempts caps how many leases one job may burn before it is
+	// parked in the poisoned-job lot instead of requeued — one
+	// crash-inducing request must not ping-pong across the fleet
+	// forever. Default: 5.
+	MaxJobAttempts int
+	// OnPoison, when set, is called (outside the coordinator lock) for
+	// every job moved to the poisoned lot, with the job and the attempts
+	// it consumed. The server uses it to fail the registered run.
+	OnPoison func(j results.Job, attempts int)
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -58,6 +67,9 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.MaxLeaseBatch <= 0 {
 		o.MaxLeaseBatch = 64
 	}
+	if o.MaxJobAttempts <= 0 {
+		o.MaxJobAttempts = 5
+	}
 	if o.now == nil {
 		o.now = time.Now
 	}
@@ -78,6 +90,10 @@ type job struct {
 	// pending with both cleared.
 	worker  string
 	expires time.Time
+	// attempts counts leases granted for this job; at MaxJobAttempts an
+	// expiring lease parks the job in the poisoned lot instead of
+	// requeuing it.
+	attempts int
 }
 
 // workerState tracks one registered worker.
@@ -103,11 +119,18 @@ type Coordinator struct {
 	pending []*job     // FIFO; requeued jobs go to the back
 	byKey   map[string]*job
 	workers map[string]*workerState
-	nextID  int
-	closed  bool
+	// poisoned parks jobs that burned their attempt cap; they never
+	// return to pending unless their key is re-enqueued by a fresh
+	// submission. poisonNotify buffers OnPoison callbacks so they fire
+	// outside the lock.
+	poisoned     map[string]*job
+	poisonNotify []*job
+	nextID       int
+	closed       bool
 
 	requeues        atomic.Uint64
 	remoteCompleted atomic.Uint64
+	poisonedTotal   atomic.Uint64
 
 	stop     chan struct{}
 	sweepers sync.WaitGroup
@@ -116,10 +139,11 @@ type Coordinator struct {
 // NewCoordinator starts a coordinator and its requeue sweeper.
 func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
-		opts:    opts.withDefaults(),
-		byKey:   make(map[string]*job),
-		workers: make(map[string]*workerState),
-		stop:    make(chan struct{}),
+		opts:     opts.withDefaults(),
+		byKey:    make(map[string]*job),
+		workers:  make(map[string]*workerState),
+		poisoned: make(map[string]*job),
+		stop:     make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.sweepers.Add(1)
@@ -144,6 +168,7 @@ func (c *Coordinator) sweep() {
 			c.mu.Lock()
 			c.expireLocked()
 			c.mu.Unlock()
+			c.firePoisonCallbacks()
 		case <-c.stop:
 			return
 		}
@@ -191,7 +216,8 @@ func (c *Coordinator) dropWorkerLocked(id string) {
 	}
 }
 
-// requeueLocked returns a leased job to the pending pool. Callers must
+// requeueLocked returns a leased job to the pending pool — or, once it
+// has burned its attempt cap, parks it in the poisoned lot. Callers must
 // hold c.mu.
 func (c *Coordinator) requeueLocked(jb *job) {
 	if w, ok := c.workers[jb.worker]; ok {
@@ -199,8 +225,31 @@ func (c *Coordinator) requeueLocked(jb *job) {
 	}
 	jb.worker = ""
 	jb.expires = time.Time{}
+	if jb.attempts >= c.opts.MaxJobAttempts {
+		delete(c.byKey, jb.j.Key)
+		c.poisoned[jb.j.Key] = jb
+		c.poisonNotify = append(c.poisonNotify, jb)
+		c.poisonedTotal.Add(1)
+		return
+	}
 	c.pending = append(c.pending, jb)
 	c.requeues.Add(1)
+}
+
+// firePoisonCallbacks drains the poison-notification buffer and invokes
+// OnPoison outside the coordinator lock (the callback may take other
+// locks, e.g. the server registry).
+func (c *Coordinator) firePoisonCallbacks() {
+	c.mu.Lock()
+	evs := c.poisonNotify
+	c.poisonNotify = nil
+	c.mu.Unlock()
+	if c.opts.OnPoison == nil {
+		return
+	}
+	for _, jb := range evs {
+		c.opts.OnPoison(jb.j, jb.attempts)
+	}
 }
 
 // Enqueue adds one job to the pending pool. A key already pending or
@@ -215,6 +264,9 @@ func (c *Coordinator) Enqueue(j results.Job) bool {
 	if _, ok := c.byKey[j.Key]; ok {
 		return false
 	}
+	// A fresh submission of a previously poisoned key gets a clean slate:
+	// the caller (run registry) decided to try again.
+	delete(c.poisoned, j.Key)
 	jb := &job{j: j}
 	c.byKey[j.Key] = jb
 	c.pending = append(c.pending, jb)
@@ -287,6 +339,16 @@ func (c *Coordinator) Heartbeat(workerID string) error {
 // grant is additionally capped so a worker never holds more than twice
 // its capacity — one batch executing, one batch queued behind it.
 func (c *Coordinator) Lease(workerID string, max int) ([]results.Job, error) {
+	jobs, err := c.leaseAndSweep(workerID, max)
+	// The expiry sweep inside may have parked jobs; their callbacks must
+	// fire outside the lock.
+	c.firePoisonCallbacks()
+	return jobs, err
+}
+
+// leaseAndSweep takes c.mu itself (unlike the *Locked helpers): it runs
+// the expiry sweep and the grant in one critical section.
+func (c *Coordinator) leaseAndSweep(workerID string, max int) ([]results.Job, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -294,7 +356,8 @@ func (c *Coordinator) Lease(workerID string, max int) ([]results.Job, error) {
 	}
 	// Sweep before resolving the caller: a worker silent past its expiry
 	// must be dropped here and told to re-register, never handed leases
-	// under an id the registry no longer holds.
+	// under an id the registry no longer holds. Poison callbacks fire on
+	// the sweeper's next tick (firePoisonCallbacks must run unlocked).
 	c.expireLocked()
 	w, ok := c.workers[workerID]
 	if !ok {
@@ -314,6 +377,7 @@ func (c *Coordinator) Lease(workerID string, max int) ([]results.Job, error) {
 		c.pending = c.pending[1:]
 		jb.worker = workerID
 		jb.expires = now.Add(c.opts.LeaseTTL)
+		jb.attempts++
 		w.leased[jb.j.Key] = true
 		out = append(out, jb.j)
 	}
@@ -384,6 +448,10 @@ type Stats struct {
 	Requeues uint64 `json:"requeues"`
 	// RemoteCompleted counts records accepted from remote workers.
 	RemoteCompleted uint64 `json:"remote_completed"`
+	// PoisonedTotal counts jobs parked after burning their attempt cap.
+	PoisonedTotal uint64 `json:"poisoned_total"`
+	// PoisonedParked is the current size of the poisoned lot.
+	PoisonedParked int `json:"poisoned_parked"`
 }
 
 // Stats snapshots the pool.
@@ -396,11 +464,32 @@ func (c *Coordinator) Stats() Stats {
 		Leased:          len(c.byKey) - len(c.pending),
 		Requeues:        c.requeues.Load(),
 		RemoteCompleted: c.remoteCompleted.Load(),
+		PoisonedTotal:   c.poisonedTotal.Load(),
+		PoisonedParked:  len(c.poisoned),
 	}
 	for _, w := range c.workers {
 		st.Capacity += w.capacity
 	}
 	return st
+}
+
+// PoisonedInfo describes one parked job for the status endpoint.
+type PoisonedInfo struct {
+	Key string `json:"key"`
+	// Attempts is how many leases the job consumed before parking.
+	Attempts int `json:"attempts"`
+}
+
+// Poisoned lists the parked jobs, sorted by key.
+func (c *Coordinator) Poisoned() []PoisonedInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PoisonedInfo, 0, len(c.poisoned))
+	for key, jb := range c.poisoned {
+		out = append(out, PoisonedInfo{Key: key, Attempts: jb.attempts})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // WorkerInfo describes one registered worker for the status endpoint.

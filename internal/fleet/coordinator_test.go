@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/results"
+	"repro/internal/workload"
 )
 
 // fakeClock is an injectable coordinator clock.
@@ -48,10 +49,10 @@ func newTestCoordinator(t *testing.T, ttl time.Duration) (*Coordinator, *fakeClo
 func testJob(t *testing.T, i int) results.Job {
 	t.Helper()
 	req := results.NewRequest(harness.Request{
-		Config:  core.MustPaperConfig(core.ArchRing, 4, 2, 1),
-		Program: "gcc",
-		Insts:   uint64(1000 + i),
-		Warmup:  100,
+		Config:   core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+		Workload: workload.Single("gcc"),
+		Insts:    uint64(1000 + i),
+		Warmup:   100,
 	})
 	j, err := results.NewJob(req)
 	if err != nil {
@@ -241,5 +242,92 @@ func TestWorkersStatusView(t *testing.T) {
 	}
 	if st := c.Stats(); st.Capacity != 6 {
 		t.Errorf("summed capacity = %d, want 6", st.Capacity)
+	}
+}
+
+// TestPoisonedJobParksAfterAttemptCap: a job whose leases keep expiring
+// must stop ping-ponging at MaxJobAttempts, land in the poisoned lot,
+// fire OnPoison exactly once, and stay out of circulation until a fresh
+// Enqueue gives its key a clean slate.
+func TestPoisonedJobParksAfterAttemptCap(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	type poison struct {
+		key      string
+		attempts int
+	}
+	var mu sync.Mutex
+	var poisons []poison
+	c := NewCoordinator(CoordinatorOptions{
+		LeaseTTL:       time.Minute,
+		SweepEvery:     time.Hour, // expiry driven via Lease, not wall time
+		MaxJobAttempts: 2,
+		OnPoison: func(j results.Job, attempts int) {
+			mu.Lock()
+			poisons = append(poisons, poison{key: j.Key, attempts: attempts})
+			mu.Unlock()
+		},
+		now: clk.now,
+	})
+	t.Cleanup(c.Stop)
+
+	jb := testJob(t, 1)
+	if !c.Enqueue(jb) {
+		t.Fatal("enqueue refused")
+	}
+	reg, err := c.Register("crashy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attempt 1: lease, let it expire.
+	jobs, err := c.Lease(reg.WorkerID, 10)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("lease 1: %v, %d jobs", err, len(jobs))
+	}
+	clk.advance(90 * time.Second)
+	// Attempt 2: the expired job requeues and immediately re-leases.
+	jobs, err = c.Lease(reg.WorkerID, 10)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("lease 2: %v, %d jobs", err, len(jobs))
+	}
+	if got := c.Stats().Requeues; got != 1 {
+		t.Fatalf("requeues = %d, want 1", got)
+	}
+	clk.advance(90 * time.Second)
+	// Third expiry hits the cap: parked, not requeued.
+	jobs, err = c.Lease(reg.WorkerID, 10)
+	if err != nil || len(jobs) != 0 {
+		t.Fatalf("lease 3 handed out a poisoned job: %v, %d jobs", err, len(jobs))
+	}
+	st := c.Stats()
+	if st.PoisonedTotal != 1 || st.PoisonedParked != 1 || st.Pending != 0 {
+		t.Fatalf("poison not recorded: %+v", st)
+	}
+	mu.Lock()
+	got := append([]poison(nil), poisons...)
+	mu.Unlock()
+	if len(got) != 1 || got[0].key != jb.Key || got[0].attempts != 2 {
+		t.Fatalf("OnPoison fired wrong: %+v", got)
+	}
+	lot := c.Poisoned()
+	if len(lot) != 1 || lot[0].Key != jb.Key || lot[0].Attempts != 2 {
+		t.Fatalf("Poisoned() = %+v", lot)
+	}
+	// A completion for a parked key is stale: rejected.
+	if c.Complete(reg.WorkerID, jb.Key) {
+		t.Fatal("completion accepted for a poisoned key")
+	}
+	// A fresh submission clears the parking slot and circulates again.
+	if !c.Enqueue(jb) {
+		t.Fatal("re-enqueue of a poisoned key refused")
+	}
+	if got := c.Stats().PoisonedParked; got != 0 {
+		t.Fatalf("parked lot not cleared on re-enqueue: %d", got)
+	}
+	jobs, err = c.Lease(reg.WorkerID, 10)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("re-lease after re-enqueue: %v, %d jobs", err, len(jobs))
+	}
+	if !c.Complete(reg.WorkerID, jb.Key) {
+		t.Fatal("completion rejected after clean re-enqueue")
 	}
 }

@@ -21,6 +21,12 @@ package fleet
 
 import "repro/internal/results"
 
+// SecretHeader carries the fleet shared secret on every worker→
+// coordinator call. A coordinator started with a secret rejects fleet
+// calls without the matching header value with 401; workers are given the
+// secret out of band (-fleet-secret on both binaries).
+const SecretHeader = "X-Fleet-Secret"
+
 // RegisterRequest announces a worker to the coordinator.
 type RegisterRequest struct {
 	// Name is a free-form label for logs and the status endpoint

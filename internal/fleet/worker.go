@@ -20,6 +20,10 @@ type WorkerOptions struct {
 	// Coordinator is the coordinator daemon's base URL
 	// (e.g. http://coordinator:8080).
 	Coordinator string
+	// Secret is the fleet shared secret, sent on every call in the
+	// SecretHeader; it must match the coordinator's -fleet-secret (empty
+	// when the coordinator runs without one).
+	Secret string
 	// Name labels the worker in the coordinator's status endpoint.
 	Name string
 	// Capacity is how many simulations run concurrently.
@@ -236,11 +240,11 @@ func (w *Worker) executeJob(jb results.Job) results.Result {
 	run := harness.Execute(req)
 	res, err := results.FromRun(req, run)
 	if err != nil {
-		return results.Result{Key: jb.Key, Config: req.Config.Name, Program: req.Program, Err: err.Error()}
+		return results.Result{Key: jb.Key, Config: req.Config.Name, Program: jb.Request.WorkloadLabel(), Err: err.Error()}
 	}
 	w.executed.Add(1)
 	if res.Key != jb.Key {
-		return results.Result{Key: jb.Key, Config: req.Config.Name, Program: req.Program,
+		return results.Result{Key: jb.Key, Config: req.Config.Name, Program: jb.Request.WorkloadLabel(),
 			Err: fmt.Sprintf("content key mismatch: leased %s, computed %s (mixed schema versions?)", jb.Key, res.Key)}
 	}
 	if w.opts.Store != nil && !res.Failed() {
@@ -368,6 +372,9 @@ func (w *Worker) do(ctx context.Context, path string, body []byte) (*http.Respon
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.opts.Secret != "" {
+		req.Header.Set(SecretHeader, w.opts.Secret)
+	}
 	return w.opts.Client.Do(req)
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -14,7 +15,8 @@ import (
 // reproduce bit-for-bit.
 func freshRun(t *testing.T, req Request) core.Stats {
 	t.Helper()
-	prof, err := workload.ByName(req.Program)
+	prog := req.Workload.Streams[0].Program
+	prof, err := workload.ByName(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestMachineReuseDeterminism(t *testing.T) {
 	programs := []string{"gcc", "swim"}
 	for _, cfg := range PaperConfigs() {
 		for _, prog := range programs {
-			req := Request{Config: cfg, Program: prog, Insts: insts, Warmup: warmup}
+			req := Request{Config: cfg, Workload: workload.Single(prog), Insts: insts, Warmup: warmup}
 			want := freshRun(t, req)
 			// Twice through the pool: the first run may construct, the
 			// second is guaranteed to reuse a machine that just ran a
@@ -63,7 +65,7 @@ func TestMachineReuseDeterminism(t *testing.T) {
 				if run.Err != nil {
 					t.Fatalf("%s/%s round %d: %v", cfg.Name, prog, round, run.Err)
 				}
-				if run.Stats != want {
+				if !reflect.DeepEqual(run.Stats, want) {
 					t.Errorf("%s/%s round %d: pooled stats diverged\n got %+v\nwant %+v",
 						cfg.Name, prog, round, run.Stats, want)
 				}
@@ -77,11 +79,11 @@ func TestMachineReuseDeterminism(t *testing.T) {
 // instructions as a longer one, and both must match a fresh generator.
 func TestTraceCacheSharesPrefix(t *testing.T) {
 	tc := NewTraceCache(1 << 20)
-	short, err := tc.Stream("gcc", 1000)
+	short, err := tc.Stream("gcc", 0, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := tc.Stream("gcc", 5000)
+	long, err := tc.Stream("gcc", 0, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestTraceCacheSharesPrefix(t *testing.T) {
 // back to a private generator with identical content.
 func TestTraceCacheBudgetFallback(t *testing.T) {
 	tc := NewTraceCache(100) // far below any real request
-	s, err := tc.Stream("gcc", 1000)
+	s, err := tc.Stream("gcc", 0, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

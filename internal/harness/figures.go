@@ -155,7 +155,7 @@ func (r *Results) Fig11() string {
 	progs := append(workload.SuiteNames(workload.ClassFP), workload.SuiteNames(workload.ClassInt)...)
 	sort.Strings(progs)
 	for _, p := range progs {
-		run, ok := r.Main[Key{Config: cfg, Program: p}]
+		run, ok := r.Main[Key{Config: cfg, Workload: p}]
 		if !ok {
 			continue
 		}
@@ -244,8 +244,8 @@ func (r *Results) crossSpeedup(ssaCfg, mainCfg string, s Suite) float64 {
 	var sum float64
 	var n int
 	for _, p := range progs {
-		t, okT := r.SSA[Key{Config: ssaCfg, Program: p}]
-		b, okB := r.Main[Key{Config: mainCfg, Program: p}]
+		t, okT := r.SSA[Key{Config: ssaCfg, Workload: p}]
+		b, okB := r.Main[Key{Config: mainCfg, Workload: p}]
 		if !okT || !okB {
 			continue
 		}

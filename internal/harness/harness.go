@@ -1,7 +1,10 @@
 // Package harness runs simulation experiments: it expands (configuration ×
-// program) grids, fans the runs across a worker pool, and reduces the
-// per-program statistics into the suite-level aggregates (AVERAGE / INT /
-// FP) that the paper's figures plot.
+// workload) grids, fans the runs across a worker pool, and reduces the
+// per-workload statistics into the suite-level aggregates (AVERAGE / INT /
+// FP) that the paper's figures plot. A workload is one or more
+// deterministic instruction streams (workload.Spec); multi-stream
+// workloads run all streams on one machine under ICOUNT fetch
+// arbitration.
 package harness
 
 import (
@@ -14,33 +17,44 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Run is the result of simulating one program on one configuration.
+// Run is the result of simulating one workload on one configuration.
 type Run struct {
-	Config  core.Config
-	Program string
-	Class   workload.ProgramClass
-	Stats   core.Stats
-	Err     error
+	Config core.Config
+	// Workload is the canonical workload label (the bare program name
+	// for single-stream runs, the "+"-joined spec string for mixes).
+	Workload string
+	Class    workload.ProgramClass
+	Stats    core.Stats
+	Err      error
 }
 
 // Key identifies a run within a result set.
 type Key struct {
-	Config  string
-	Program string
+	Config string
+	// Workload is the workload's canonical label (workload.Spec.Name);
+	// for single-program runs it is the program name.
+	Workload string
 }
 
 // Request describes one simulation to perform.
 type Request struct {
 	Config core.Config
-	// Program names the workload profile to run.
-	Program string
-	// Insts is the number of instructions to simulate after warm-up.
+	// Workload names the instruction streams to run: one stream is the
+	// classic single-program experiment, several are the multi-programmed
+	// mode (independent streams sharing the machine under ICOUNT fetch
+	// arbitration).
+	Workload workload.Spec
+	// Insts is the measured instruction budget per stream; a stream's
+	// own Insts overrides it.
 	Insts uint64
 	// Warmup is the number of instructions to run before resetting
 	// statistics (the paper skips each program's initialization phase).
+	// It is a machine-wide commit count, drawn from the streams by the
+	// same arbitration as the measured window.
 	Warmup uint64
 }
 
@@ -51,34 +65,67 @@ type Request struct {
 // (guarded by TestMachineReuseDeterminism).
 var machinePool sync.Pool
 
-// Execute runs one simulation request synchronously. The instruction
-// stream comes from the shared trace cache (materialized once per
-// program and replayed across configurations) and the machine from a
-// pool of recycled simulators.
+// Execute runs one simulation request synchronously. Instruction streams
+// come from the shared trace cache (materialized once per
+// program×seed and replayed across configurations) and the machine from
+// a pool of recycled simulators. Multi-stream workloads run every stream
+// on one machine under ICOUNT fetch arbitration, with per-stream
+// statistics attached to the returned Stats.
 func Execute(req Request) Run {
-	out := Run{Config: req.Config, Program: req.Program}
-	prof, err := workload.ByName(req.Program)
+	spec := req.Workload
+	out := Run{Config: req.Config, Workload: spec.Name()}
+	if err := spec.Validate(); err != nil {
+		out.Err = err
+		return out
+	}
+	cls, err := spec.Class()
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	out.Class = prof.Class
+	out.Class = cls
 	// Warm-up: the generator produces the stream; skipping instructions
 	// before the measured window warms the predictor and caches less
 	// faithfully than re-running, so we simply include a warm-up segment
 	// in the same machine and subtract nothing — the paper's own skip
 	// happens before its measured window on a warm machine. We instead
 	// run warm-up instructions through the machine and reset statistics.
-	stream, err := DefaultTraceCache.Stream(req.Program, req.Warmup+req.Insts)
-	if err != nil {
-		out.Err = err
-		return out
-	}
+	// Each stream is materialized long enough to cover its measured
+	// budget plus an even share of the warm-up. Streams are built before
+	// a machine is taken from the pool, so a materialization failure
+	// never discards a pooled machine.
+	n := len(spec.Streams)
 	var m *core.Machine
-	if pooled, _ := machinePool.Get().(*core.Machine); pooled != nil {
-		m, err = pooled, pooled.Reset(req.Config, stream)
+	if n == 1 {
+		s := spec.Streams[0]
+		stream, serr := DefaultTraceCache.Stream(s.Program, s.Seed, req.Warmup+streamBudget(s, req.Insts))
+		if serr != nil {
+			out.Err = serr
+			return out
+		}
+		if pooled, _ := machinePool.Get().(*core.Machine); pooled != nil {
+			m, err = pooled, pooled.Reset(req.Config, stream)
+		} else {
+			m, err = core.New(req.Config, stream)
+		}
 	} else {
-		m, err = core.New(req.Config, stream)
+		streams := make([]trace.Stream, n)
+		for i, s := range spec.Streams {
+			warm := req.Warmup / uint64(n)
+			if uint64(i) < req.Warmup%uint64(n) {
+				warm++
+			}
+			streams[i], err = DefaultTraceCache.Stream(s.Program, s.Seed, warm+streamBudget(s, req.Insts))
+			if err != nil {
+				out.Err = err
+				return out
+			}
+		}
+		if pooled, _ := machinePool.Get().(*core.Machine); pooled != nil {
+			m, err = pooled, pooled.ResetMulti(req.Config, streams)
+		} else {
+			m, err = core.NewMulti(req.Config, streams)
+		}
 	}
 	if err != nil {
 		out.Err = err
@@ -98,10 +145,18 @@ func Execute(req Request) Run {
 	return out
 }
 
+// streamBudget resolves one stream's measured instruction budget.
+func streamBudget(s workload.StreamSpec, def uint64) uint64 {
+	if s.Insts != 0 {
+		return s.Insts
+	}
+	return def
+}
+
 // runUntilCommitted steps the machine until it has committed at least n
 // instructions (or drained).
 func runUntilCommitted(m *core.Machine, n uint64) error {
-	for m.Stats().Committed < n && !m.Done() {
+	for m.Committed() < n && !m.Done() {
 		if err := m.Step(); err != nil {
 			return err
 		}
@@ -109,29 +164,47 @@ func runUntilCommitted(m *core.Machine, n uint64) error {
 	return nil
 }
 
-// Expand turns a (configuration × program) grid into the flat request
-// list Grid executes, in configuration-major order. It is the single
-// definition of grid semantics: the CLI tools and the ringsimd sweep API
-// both expand through here, so a sweep submitted over HTTP names exactly
-// the same simulations as the equivalent local Grid call.
-func Expand(configs []core.Config, programs []string, insts, warmup uint64) []Request {
-	reqs := make([]Request, 0, len(configs)*len(programs))
+// Expand turns a (configuration × workload) grid into the flat request
+// list Grid executes, in configuration-major order. Workloads are spec
+// strings (see workload.ParseSpec): a bare program name is the classic
+// single run, "gcc+swim" a two-stream mix. It is the single definition
+// of grid semantics: the CLI tools and the ringsimd sweep API both
+// expand through here, so a sweep submitted over HTTP names exactly the
+// same simulations as the equivalent local Grid call.
+func Expand(configs []core.Config, workloads []string, insts, warmup uint64) ([]Request, error) {
+	specs := make([]workload.Spec, len(workloads))
+	for i, w := range workloads {
+		spec, err := workload.ParseSpec(w)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return ExpandSpecs(configs, specs, insts, warmup), nil
+}
+
+// ExpandSpecs is Expand over already-parsed workload specs.
+func ExpandSpecs(configs []core.Config, specs []workload.Spec, insts, warmup uint64) []Request {
+	reqs := make([]Request, 0, len(configs)*len(specs))
 	for _, cfg := range configs {
-		for _, p := range programs {
-			reqs = append(reqs, Request{Config: cfg, Program: p, Insts: insts, Warmup: warmup})
+		for _, spec := range specs {
+			reqs = append(reqs, Request{Config: cfg, Workload: spec, Insts: insts, Warmup: warmup})
 		}
 	}
 	return reqs
 }
 
-// Grid runs every (config, program) pair across a fixed worker pool and
-// returns results keyed by configuration name and program. The pool size
-// is min(GOMAXPROCS, requests) — a 10k-request grid runs on a handful of
-// goroutines instead of spawning one per request. The order of workers is
-// nondeterministic but each simulation is fully deterministic, so the
-// result set is reproducible.
-func Grid(configs []core.Config, programs []string, insts, warmup uint64) (map[Key]Run, error) {
-	reqs := Expand(configs, programs, insts, warmup)
+// Grid runs every (config, workload) pair across a fixed worker pool and
+// returns results keyed by configuration name and workload label. The
+// pool size is min(GOMAXPROCS, requests) — a 10k-request grid runs on a
+// handful of goroutines instead of spawning one per request. The order of
+// workers is nondeterministic but each simulation is fully deterministic,
+// so the result set is reproducible.
+func Grid(configs []core.Config, workloads []string, insts, warmup uint64) (map[Key]Run, error) {
+	reqs, err := Expand(configs, workloads, insts, warmup)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]Run, len(reqs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(reqs) {
@@ -156,9 +229,9 @@ func Grid(configs []core.Config, programs []string, insts, warmup uint64) (map[K
 	out := make(map[Key]Run, len(results))
 	for _, r := range results {
 		if r.Err != nil {
-			return nil, fmt.Errorf("harness: %s/%s: %w", r.Config.Name, r.Program, r.Err)
+			return nil, fmt.Errorf("harness: %s/%s: %w", r.Config.Name, r.Workload, r.Err)
 		}
-		out[Key{Config: r.Config.Name, Program: r.Program}] = r
+		out[Key{Config: r.Config.Name, Workload: r.Workload}] = r
 	}
 	return out, nil
 }
@@ -211,7 +284,7 @@ func Aggregate(res map[Key]Run, config string, s Suite, metric Metric) float64 {
 	var sum float64
 	var n int
 	for _, p := range progs {
-		r, ok := res[Key{Config: config, Program: p}]
+		r, ok := res[Key{Config: config, Workload: p}]
 		if !ok {
 			continue
 		}
@@ -249,8 +322,8 @@ func SpeedupDetail(res map[Key]Run, testCfg, baseCfg string, s Suite) (speedup f
 	var sum float64
 	var n int
 	for _, p := range progs {
-		t, okT := res[Key{Config: testCfg, Program: p}]
-		b, okB := res[Key{Config: baseCfg, Program: p}]
+		t, okT := res[Key{Config: testCfg, Workload: p}]
+		b, okB := res[Key{Config: baseCfg, Workload: p}]
 		if !okT || !okB {
 			continue
 		}

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 func TestPaperConfigsComplete(t *testing.T) {
@@ -41,7 +43,7 @@ func TestConfigPairsAlign(t *testing.T) {
 }
 
 func TestExecuteUnknownProgram(t *testing.T) {
-	r := Execute(Request{Config: core.MustPaperConfig(core.ArchRing, 4, 2, 1), Program: "nope", Insts: 100})
+	r := Execute(Request{Config: core.MustPaperConfig(core.ArchRing, 4, 2, 1), Workload: workload.Single("nope"), Insts: 100})
 	if r.Err == nil {
 		t.Fatal("unknown program accepted")
 	}
@@ -99,8 +101,8 @@ func TestGridDeterministicAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ka := Key{Config: cfg[0].Name, Program: "mcf"}
-	if a[ka].Stats != b[ka].Stats {
+	ka := Key{Config: cfg[0].Name, Workload: "mcf"}
+	if !reflect.DeepEqual(a[ka].Stats, b[ka].Stats) {
 		t.Fatal("parallel grid runs nondeterministic")
 	}
 }
@@ -119,11 +121,11 @@ func TestSpeedupDegenerateBaseline(t *testing.T) {
 	}
 	res := map[Key]Run{
 		// gzip (INT): healthy pair, test IPC 2.0 vs base 1.0.
-		{Config: cfgT, Program: "gzip"}: mk(1000, 2000),
-		{Config: cfgB, Program: "gzip"}: mk(1000, 1000),
+		{Config: cfgT, Workload: "gzip"}: mk(1000, 2000),
+		{Config: cfgB, Workload: "gzip"}: mk(1000, 1000),
 		// gcc (INT): baseline committed nothing — degenerate.
-		{Config: cfgT, Program: "gcc"}: mk(1000, 1500),
-		{Config: cfgB, Program: "gcc"}: mk(1000, 0),
+		{Config: cfgT, Workload: "gcc"}: mk(1000, 1500),
+		{Config: cfgB, Workload: "gcc"}: mk(1000, 0),
 	}
 	sp, degenerate := SpeedupDetail(res, cfgT, cfgB, SuiteInt)
 	if len(degenerate) != 1 || degenerate[0] != "gcc" {
@@ -137,7 +139,7 @@ func TestSpeedupDegenerateBaseline(t *testing.T) {
 		t.Errorf("Speedup = %v, SpeedupDetail = %v", got, sp)
 	}
 	// All baselines degenerate: zero speedup, every program marked.
-	res[Key{Config: cfgB, Program: "gzip"}] = mk(1000, 0)
+	res[Key{Config: cfgB, Workload: "gzip"}] = mk(1000, 0)
 	sp, degenerate = SpeedupDetail(res, cfgT, cfgB, SuiteInt)
 	if sp != 0 || len(degenerate) != 2 {
 		t.Errorf("all-degenerate: speedup %v, degenerate %v", sp, degenerate)
@@ -152,47 +154,61 @@ func TestExpandEdgeCases(t *testing.T) {
 	ring := core.MustPaperConfig(core.ArchRing, 4, 2, 1)
 	conv := core.MustPaperConfig(core.ArchConv, 4, 2, 1)
 
+	expand := func(cfgs []core.Config, progs []string, insts, warmup uint64) []Request {
+		t.Helper()
+		reqs, err := Expand(cfgs, progs, insts, warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reqs
+	}
+
 	// Empty axes: no configs, no programs, or both.
-	if got := Expand(nil, []string{"gcc"}, 100, 0); len(got) != 0 {
+	if got := expand(nil, []string{"gcc"}, 100, 0); len(got) != 0 {
 		t.Errorf("Expand(no configs) produced %d requests", len(got))
 	}
-	if got := Expand([]core.Config{ring}, nil, 100, 0); len(got) != 0 {
+	if got := expand([]core.Config{ring}, nil, 100, 0); len(got) != 0 {
 		t.Errorf("Expand(no programs) produced %d requests", len(got))
 	}
-	if got := Expand(nil, nil, 100, 0); len(got) != 0 {
+	if got := expand(nil, nil, 100, 0); len(got) != 0 {
 		t.Errorf("Expand(nothing) produced %d requests", len(got))
 	}
 
+	// A malformed workload spec string is a parse error.
+	if _, err := Expand([]core.Config{ring}, []string{"gcc@bad"}, 100, 0); err == nil {
+		t.Error("Expand accepted a malformed workload spec")
+	}
+
 	// Single-point axes: exactly one request, fields threaded through.
-	one := Expand([]core.Config{ring}, []string{"gcc"}, 123, 45)
+	one := expand([]core.Config{ring}, []string{"gcc"}, 123, 45)
 	if len(one) != 1 {
 		t.Fatalf("single-point grid produced %d requests", len(one))
 	}
-	if one[0].Config.Name != ring.Name || one[0].Program != "gcc" ||
+	if one[0].Config.Name != ring.Name || one[0].Workload.Name() != "gcc" ||
 		one[0].Insts != 123 || one[0].Warmup != 45 {
 		t.Errorf("single-point request wrong: %+v", one[0])
 	}
 
 	// Configuration-major order over a 2×2 grid.
-	grid := Expand([]core.Config{ring, conv}, []string{"gcc", "swim"}, 100, 0)
+	grid := expand([]core.Config{ring, conv}, []string{"gcc", "swim"}, 100, 0)
 	wantOrder := []Key{
 		{ring.Name, "gcc"}, {ring.Name, "swim"},
 		{conv.Name, "gcc"}, {conv.Name, "swim"},
 	}
 	for i, w := range wantOrder {
-		if grid[i].Config.Name != w.Config || grid[i].Program != w.Program {
+		if grid[i].Config.Name != w.Config || grid[i].Workload.Name() != w.Workload {
 			t.Errorf("request %d is %s/%s, want %s/%s",
-				i, grid[i].Config.Name, grid[i].Program, w.Config, w.Program)
+				i, grid[i].Config.Name, grid[i].Workload.Name(), w.Config, w.Workload)
 		}
 	}
 
 	// Duplicate config names: Expand emits both verbatim — identical
 	// requests that downstream content-hashing coalesces into one run.
-	dup := Expand([]core.Config{ring, ring}, []string{"gcc"}, 100, 0)
+	dup := expand([]core.Config{ring, ring}, []string{"gcc"}, 100, 0)
 	if len(dup) != 2 {
 		t.Fatalf("duplicate-config grid produced %d requests", len(dup))
 	}
-	if dup[0] != dup[1] {
+	if !reflect.DeepEqual(dup[0], dup[1]) {
 		t.Errorf("duplicate configs expanded to different requests:\n%+v\n%+v", dup[0], dup[1])
 	}
 }

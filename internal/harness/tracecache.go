@@ -8,27 +8,36 @@ import (
 	"repro/internal/workload"
 )
 
-// TraceCache materializes each workload program's deterministic
-// instruction stream once and replays it as a read-only slice, so a grid
-// that runs the same program under many configurations generates the
-// trace a single time instead of once per configuration. Entries extend
-// in place: a request for a longer prefix pulls more instructions from
-// the program's retained generator, and outstanding shorter views stay
-// valid (extension never mutates published elements).
+// TraceCache materializes each workload stream's deterministic
+// instruction sequence once and replays it as a read-only slice, so a
+// grid that runs the same stream under many configurations generates the
+// trace a single time instead of once per configuration. Entries are
+// keyed per stream — (program, seed) — so two mixes sharing a stream
+// share its trace, and two seeds of one program materialize separately.
+// Entries extend in place: a request for a longer prefix pulls more
+// instructions from the stream's retained generator, and outstanding
+// shorter views stay valid (extension never mutates published elements).
 //
 // The cache is safe for concurrent use and bounded by a total-instruction
 // budget; requests it cannot admit fall back to a private generator, so
 // oversized sweeps degrade to the unshared behaviour instead of evicting
-// (grids revisit every program round-robin, which would thrash any LRU).
+// (grids revisit every stream round-robin, which would thrash any LRU).
 type TraceCache struct {
-	budget uint64 // total instructions across programs; 0 = unlimited
+	budget uint64 // total instructions across streams; 0 = unlimited
 
 	mu      sync.Mutex
 	total   uint64
-	entries map[string]*traceEntry
+	entries map[streamKey]*traceEntry
 }
 
-// traceEntry is one program's materialized prefix plus the generator that
+// streamKey identifies one materialized stream: a program profile plus
+// the seed override (0 = the profile's own seed).
+type streamKey struct {
+	program string
+	seed    uint64
+}
+
+// traceEntry is one stream's materialized prefix plus the generator that
 // extends it. The entry lock serializes extension; readers of published
 // prefixes need no lock. reserved is the longest prefix any request has
 // claimed budget for, tracked under the cache lock (len(insts) itself is
@@ -44,7 +53,7 @@ type traceEntry struct {
 // NewTraceCache returns a cache bounded to roughly budget materialized
 // instructions in total (0 = unlimited).
 func NewTraceCache(budget uint64) *TraceCache {
-	return &TraceCache{budget: budget, entries: make(map[string]*traceEntry)}
+	return &TraceCache{budget: budget, entries: make(map[streamKey]*traceEntry)}
 }
 
 // DefaultTraceCache backs Execute. Its budget (64M instructions, a few
@@ -52,17 +61,32 @@ func NewTraceCache(budget uint64) *TraceCache {
 // full suite at the paper's default instruction counts.
 var DefaultTraceCache = NewTraceCache(64 << 20)
 
-// Stream returns a trace.Stream yielding exactly the first n dynamic
-// instructions of the named program: a replay of the shared materialized
-// trace when the budget admits it, otherwise a freshly generated stream.
-// Both paths produce bit-identical instruction sequences.
-func (tc *TraceCache) Stream(program string, n uint64) (trace.Stream, error) {
+// streamProfile resolves the profile one stream replays, applying its
+// seed override.
+func streamProfile(program string, seed uint64) (workload.Profile, error) {
 	prof, err := workload.ByName(program)
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	if seed != 0 {
+		prof.Seed = seed
+	}
+	return prof, nil
+}
+
+// Stream returns a trace.Stream yielding exactly the first n dynamic
+// instructions of the named program under the given seed override (0 =
+// profile default): a replay of the shared materialized trace when the
+// budget admits it, otherwise a freshly generated stream. Both paths
+// produce bit-identical instruction sequences.
+func (tc *TraceCache) Stream(program string, seed, n uint64) (trace.Stream, error) {
+	prof, err := streamProfile(program, seed)
 	if err != nil {
 		return nil, err
 	}
+	key := streamKey{program: program, seed: seed}
 	tc.mu.Lock()
-	e := tc.entries[program]
+	e := tc.entries[key]
 	if e == nil {
 		if tc.budget != 0 && tc.total+n > tc.budget {
 			tc.mu.Unlock()
@@ -74,7 +98,7 @@ func (tc *TraceCache) Stream(program string, n uint64) (trace.Stream, error) {
 			return nil, err
 		}
 		e = &traceEntry{gen: gen, reserved: n}
-		tc.entries[program] = e
+		tc.entries[key] = e
 		tc.total += n
 	} else if n > e.reserved {
 		grow := n - e.reserved

@@ -4,10 +4,13 @@
 // serializable result record keyed by that hash.
 //
 // The content hash is the system's unit of deduplication: any
-// (config, program, insts, warmup) tuple — the per-program workload seed
-// is part of the named profile, so the tuple pins the instruction stream
-// exactly — simulated once under a given schema version never needs to be
-// simulated again. The CLI's -json output, the on-disk cache layout, and
+// (config, workload, insts, warmup) tuple — the workload spec pins every
+// stream's program, budget and seed, so the tuple pins the instruction
+// streams exactly — simulated once under a given schema version never
+// needs to be simulated again. Single-stream workloads with default
+// knobs encode as the historical bare-program form, so their keys (and
+// every cache entry made before multi-programming existed) are stable
+// across the refactor. The CLI's -json output, the on-disk cache layout, and
 // the ringsimd HTTP API all speak this one encoding.
 package results
 
@@ -21,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/workload"
 )
 
 // SchemaVersion is folded into every content hash. Bump it when the
@@ -30,34 +34,73 @@ import (
 // already change the hash on their own.
 const SchemaVersion = 1
 
+// Stream is the wire form of one workload stream of a multi-programmed
+// request.
+type Stream struct {
+	Program string `json:"program"`
+	Insts   uint64 `json:"insts,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+}
+
 // Request mirrors harness.Request in wire form. Field names are the
 // public schema; the golden hash test pins them.
+//
+// A workload is encoded one of two ways: the single-program shorthand
+// (one stream, default budget and seed) rides the historical "program"
+// field — byte-for-byte the pre-multiprogramming encoding, so every
+// existing content key and cached result stays valid — and anything else
+// rides "streams" with "program" empty.
 type Request struct {
 	Schema  int         `json:"schema"`
 	Config  core.Config `json:"config"`
 	Program string      `json:"program"`
+	Streams []Stream    `json:"streams,omitempty"`
 	Insts   uint64      `json:"insts"`
 	Warmup  uint64      `json:"warmup"`
 }
 
 // NewRequest wraps a harness request in its wire form.
 func NewRequest(req harness.Request) Request {
-	return Request{
-		Schema:  SchemaVersion,
-		Config:  req.Config,
-		Program: req.Program,
-		Insts:   req.Insts,
-		Warmup:  req.Warmup,
+	r := Request{
+		Schema: SchemaVersion,
+		Config: req.Config,
+		Insts:  req.Insts,
+		Warmup: req.Warmup,
 	}
+	if name, ok := req.Workload.SingleProgram(); ok {
+		r.Program = name
+		return r
+	}
+	r.Streams = make([]Stream, len(req.Workload.Streams))
+	for i, s := range req.Workload.Streams {
+		r.Streams[i] = Stream{Program: s.Program, Insts: s.Insts, Seed: s.Seed}
+	}
+	return r
 }
+
+// Spec reassembles the workload spec the request names.
+func (r Request) Spec() workload.Spec {
+	if len(r.Streams) == 0 {
+		return workload.Single(r.Program)
+	}
+	streams := make([]workload.StreamSpec, len(r.Streams))
+	for i, s := range r.Streams {
+		streams[i] = workload.StreamSpec{Program: s.Program, Insts: s.Insts, Seed: s.Seed}
+	}
+	return workload.Spec{Streams: streams}
+}
+
+// WorkloadLabel is the request's canonical workload label (the program
+// name for single-stream requests).
+func (r Request) WorkloadLabel() string { return r.Spec().Name() }
 
 // Harness converts the wire form back into an executable request.
 func (r Request) Harness() harness.Request {
 	return harness.Request{
-		Config:  r.Config,
-		Program: r.Program,
-		Insts:   r.Insts,
-		Warmup:  r.Warmup,
+		Config:   r.Config,
+		Workload: r.Spec(),
+		Insts:    r.Insts,
+		Warmup:   r.Warmup,
 	}
 }
 
@@ -155,9 +198,10 @@ type Result struct {
 	Key string `json:"key"`
 	// Config is the configuration name (e.g. "Ring_8clus_1bus_2IW").
 	Config string `json:"config"`
-	// Program is the workload profile name.
+	// Program is the workload's canonical label: the profile name for
+	// single-stream runs, the "+"-joined spec string for mixes.
 	Program string `json:"program"`
-	// Class is the program's suite class ("INT" or "FP").
+	// Class is the workload's suite class ("INT", "FP" or "MIX").
 	Class string `json:"class"`
 	// Stats holds every counter the run measured.
 	Stats core.Stats `json:"stats"`
@@ -176,7 +220,7 @@ func FromRun(req harness.Request, run harness.Run) (Result, error) {
 	out := Result{
 		Key:     key,
 		Config:  run.Config.Name,
-		Program: run.Program,
+		Program: run.Workload,
 		Class:   run.Class.String(),
 		Stats:   run.Stats,
 	}

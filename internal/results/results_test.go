@@ -8,15 +8,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/workload"
 )
 
 // goldenRequest is the fixed request the golden-hash test pins.
 func goldenRequest() harness.Request {
 	return harness.Request{
-		Config:  core.MustPaperConfig(core.ArchRing, 8, 2, 1),
-		Program: "gcc",
-		Insts:   300_000,
-		Warmup:  50_000,
+		Config:   core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		Workload: workload.Single("gcc"),
+		Insts:    300_000,
+		Warmup:   50_000,
 	}
 }
 
@@ -101,8 +102,17 @@ func TestKeySeparatesRequests(t *testing.T) {
 	}
 	mutations := map[string]harness.Request{}
 	m := base
-	m.Program = "mcf"
+	m.Workload = workload.Single("mcf")
 	mutations["program"] = m
+	m = base
+	m.Workload = workload.Spec{Streams: []workload.StreamSpec{{Program: "gcc", Seed: 7}}}
+	mutations["stream seed"] = m
+	m = base
+	m.Workload = workload.Mix("gcc", "swim")
+	mutations["mix"] = m
+	m = base
+	m.Workload = workload.Mix("swim", "gcc")
+	mutations["mix order"] = m
 	m = base
 	m.Insts++
 	mutations["insts"] = m
@@ -154,7 +164,7 @@ func TestRoundTripThroughWire(t *testing.T) {
 
 func TestFromRun(t *testing.T) {
 	req := goldenRequest()
-	run := harness.Run{Config: req.Config, Program: req.Program}
+	run := harness.Run{Config: req.Config, Workload: "gcc"}
 	run.Stats.Cycles = 100
 	run.Stats.Committed = 250
 	rec, err := FromRun(req, run)

@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Store is a content-addressed result cache. Keys are the SHA-256 hex
@@ -90,16 +94,43 @@ func (s *MemoryLRU) Len() int {
 // <dir>/<key[:2]>/<key>.json — the two-hex-digit fan-out keeps directory
 // sizes flat at millions of entries. Writes go through a temp file and
 // rename, so readers never observe a torn entry.
+//
+// With a size bound (NewDiskLimit) the store garbage-collects itself:
+// when the summed entry size passes the bound, the least-recently-used
+// entries are deleted until the store is back under ~90% of the bound.
+// Recency is file timestamps: bounded stores touch an entry's times on
+// every Get, so the ordering holds even on relatime/noatime mounts where
+// reads do not advance atime. Deleting is always safe — every entry is
+// re-simulatable, so eviction only costs a future cache miss.
 type Disk struct {
 	dir string
+	// maxBytes bounds the summed entry size; 0 disables GC.
+	maxBytes int64
+
+	gcMu sync.Mutex // serializes GC passes
+	size atomic.Int64
 }
 
-// NewDisk opens (creating if needed) a disk store rooted at dir.
+// NewDisk opens (creating if needed) a disk store rooted at dir, with no
+// size bound.
 func NewDisk(dir string) (*Disk, error) {
+	return NewDiskLimit(dir, 0)
+}
+
+// NewDiskLimit opens a disk store bounded to roughly maxBytes of entries
+// (0 = unbounded). The opening scan prices existing entries so a
+// restarted daemon GCs correctly from the start.
+func NewDiskLimit(dir string, maxBytes int64) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: open disk store: %w", err)
 	}
-	return &Disk{dir: dir}, nil
+	s := &Disk{dir: dir, maxBytes: maxBytes}
+	if maxBytes > 0 {
+		// One survey prices existing entries, prunes if already over the
+		// bound, and seeds the running size counter.
+		s.gc()
+	}
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -132,6 +163,13 @@ func (s *Disk) Get(key string) (Result, bool, error) {
 	if err := json.Unmarshal(b, &r); err != nil || r.Key != key {
 		s.quarantine(p)
 		return Result{}, false, nil
+	}
+	if s.maxBytes > 0 {
+		// Touch the entry so GC's recency ordering holds on relatime and
+		// noatime mounts, where the read above does not advance atime.
+		// Best-effort: a failed touch only skews eviction order.
+		now := time.Now()
+		_ = os.Chtimes(p, now, now)
 	}
 	return r, true, nil
 }
@@ -176,7 +214,84 @@ func (s *Disk) Put(key string, r Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("results: put %s: %w", key, err)
 	}
+	if s.maxBytes > 0 {
+		if s.size.Add(int64(len(b)+1)) > s.maxBytes {
+			s.gc()
+		}
+	}
 	return nil
+}
+
+// diskEntry is one entry file surveyed for GC.
+type diskEntry struct {
+	path  string
+	size  int64
+	atime time.Time
+}
+
+// scan lists every entry file with its size and access time.
+func (s *Disk) scan() []diskEntry {
+	var out []diskEntry
+	fans, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() || len(fan.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			// Quarantined entries (.json.corrupt) count against the bound
+			// and are prunable like anything else — a bounded store must
+			// not grow without bound through its own quarantine.
+			if f.IsDir() || (!strings.HasSuffix(f.Name(), ".json") && !strings.HasSuffix(f.Name(), ".json.corrupt")) {
+				continue
+			}
+			fi, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, diskEntry{
+				path:  filepath.Join(s.dir, fan.Name(), f.Name()),
+				size:  fi.Size(),
+				atime: atime(fi),
+			})
+		}
+	}
+	return out
+}
+
+// gc prunes least-recently-used entries until the store is under ~90% of
+// the bound. One pass runs at a time; concurrent Puts queue behind the
+// mutex only when they themselves trip the bound. The pass re-surveys the
+// directory rather than trusting the running size counter (entries may
+// have been quarantined or deleted externally) and resets the counter to
+// what it measured.
+func (s *Disk) gc() {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	entries := s.scan()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	target := s.maxBytes * 9 / 10
+	if total > target {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].atime.Before(entries[j].atime) })
+		for _, e := range entries {
+			if total <= target {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				total -= e.size
+			}
+		}
+	}
+	s.size.Store(total)
 }
 
 // Tiered layers a fast front store over a durable back store: Get checks

@@ -1,0 +1,19 @@
+//go:build linux
+
+package results
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime extracts the access time (correct LRU ordering even when reads
+// and writes interleave), falling back to the modification time when the
+// stat shape is unexpected.
+func atime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package results
+
+import (
+	"os"
+	"time"
+)
+
+// atime falls back to the modification time off Linux — write-once
+// entries make mtime a correct, if coarser, LRU ordering.
+func atime(fi os.FileInfo) time.Time { return fi.ModTime() }

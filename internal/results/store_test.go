@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // fakeResult builds a distinguishable result for store tests. Keys must
@@ -200,5 +201,87 @@ func TestDiskCorruptEntryIsMiss(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestDiskGC: a size-bounded disk store must prune least-recently-used
+// entries (by atime) once the bound is exceeded, keep recently-touched
+// ones, and a fresh open over an oversized directory must prune at
+// startup.
+func TestDiskGC(t *testing.T) {
+	dir := t.TempDir()
+	// Unbounded store seeds entries so we control sizes and times.
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	var entrySize int64
+	for i := 0; i < 10; i++ {
+		key, r := fakeResult(i)
+		if err := s.Put(key, r); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		p, _ := s.path(key)
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entrySize = fi.Size()
+		// Stagger access times: keys[0] coldest, keys[9] hottest.
+		when := time.Now().Add(time.Duration(i-20) * time.Hour)
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Re-open with room for ~5 entries: the opening scan must prune the
+	// coldest so the total lands under 90% of the bound.
+	limit := entrySize*5 + entrySize/2
+	s2, err := NewDiskLimit(dir, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept, lost int
+	for i, key := range keys {
+		_, ok, err := s2.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			kept++
+			if i < 5 {
+				t.Errorf("cold entry %d survived GC while hot ones were candidates", i)
+			}
+		} else {
+			lost++
+		}
+	}
+	if kept == 0 || lost == 0 {
+		t.Fatalf("GC pruned everything or nothing: kept %d lost %d", kept, lost)
+	}
+	if kept > 5 {
+		t.Errorf("store still holds %d entries over a %d-byte bound", kept, limit)
+	}
+	// The hottest entry must have survived.
+	if _, ok, _ := s2.Get(keys[9]); !ok {
+		t.Error("most-recently-used entry was pruned")
+	}
+
+	// Writes past the bound trigger GC inline: flood and check the store
+	// stays bounded.
+	for i := 100; i < 120; i++ {
+		key, r := fakeResult(i)
+		if err := s2.Put(key, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, e := range s2.scan() {
+		total += e.size
+	}
+	if total > limit {
+		t.Fatalf("store grew to %d bytes past the %d bound", total, limit)
 	}
 }

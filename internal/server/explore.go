@@ -265,7 +265,11 @@ func (e *queueEvaluator) Evaluate(cfg core.Config) (dse.Objectives, dse.EvalStat
 	var est dse.EvalStats
 	var sumIPC float64
 	for _, prog := range e.programs {
-		req := harness.Request{Config: cfg, Program: prog, Insts: e.insts, Warmup: e.warmup}
+		spec, err := workload.ParseSpec(prog)
+		if err != nil {
+			return dse.Objectives{}, est, err
+		}
+		req := harness.Request{Config: cfg, Workload: spec, Insts: e.insts, Warmup: e.warmup}
 		key, err := prepare(req)
 		if err != nil {
 			return dse.Objectives{}, est, err

@@ -11,6 +11,7 @@ package server
 // fleet-backed daemon answers byte-identically to a single-process one.
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,48 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/results"
 )
+
+// fleetAuth guards one fleet handler with the shared-secret check: with
+// Options.FleetSecret set, a request whose fleet.SecretHeader does not
+// match is refused with 401 before the handler sees it. Comparison is
+// constant-time so the secret cannot be guessed byte by byte.
+func (s *Server) fleetAuth(h http.HandlerFunc) http.HandlerFunc {
+	if s.opts.FleetSecret == "" {
+		return h
+	}
+	secret := []byte(s.opts.FleetSecret)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get(fleet.SecretHeader))
+		if subtle.ConstantTimeCompare(got, secret) != 1 {
+			httpError(w, http.StatusUnauthorized, errors.New("missing or invalid fleet secret"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// poisonRun fails the run behind a job the coordinator parked in the
+// poisoned lot: the simulation crashed or hung enough workers to burn its
+// attempt cap, and whoever submitted it must see a terminal failure, not
+// an eternally queued run. Runs outside the registry (evicted, or a stale
+// requeue) are ignored.
+func (s *Server) poisonRun(j results.Job, attempts int) {
+	res := results.Result{
+		Key:     j.Key,
+		Config:  j.Request.Config.Name,
+		Program: j.Request.WorkloadLabel(),
+		Err:     fmt.Sprintf("poisoned: %d lease attempts expired without a completion", attempts),
+	}
+	s.mu.Lock()
+	st, ok := s.runs[j.Key]
+	if ok && !st.status.terminal() {
+		s.finishLocked(st, res, false)
+		s.mu.Unlock()
+		s.metrics.RunsFailed.Add(1)
+		return
+	}
+	s.mu.Unlock()
+}
 
 // dispatch moves queued content keys into the coordinator's pending pool
 // until the job channel closes. Store hits are settled here, before the
@@ -182,10 +225,11 @@ func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 // fleetStatusView is the GET /v1/fleet response body.
 type fleetStatusView struct {
-	Stats           fleet.Stats        `json:"stats"`
-	Workers         []fleet.WorkerInfo `json:"workers"`
-	LeaseTTLMillis  int64              `json:"lease_ttl_ms"`
-	HeartbeatMillis int64              `json:"heartbeat_ms"`
+	Stats           fleet.Stats          `json:"stats"`
+	Workers         []fleet.WorkerInfo   `json:"workers"`
+	Poisoned        []fleet.PoisonedInfo `json:"poisoned,omitempty"`
+	LeaseTTLMillis  int64                `json:"lease_ttl_ms"`
+	HeartbeatMillis int64                `json:"heartbeat_ms"`
 }
 
 // handleFleetStatus reports the fleet topology for operators.
@@ -193,6 +237,7 @@ func (s *Server) handleFleetStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, fleetStatusView{
 		Stats:           s.fleet.Stats(),
 		Workers:         s.fleet.Workers(),
+		Poisoned:        s.fleet.Poisoned(),
 		LeaseTTLMillis:  s.fleet.LeaseTTL().Milliseconds(),
 		HeartbeatMillis: s.fleet.HeartbeatEvery().Milliseconds(),
 	})

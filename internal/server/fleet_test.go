@@ -88,7 +88,10 @@ func TestFleetSweepBitIdentical(t *testing.T) {
 	}
 
 	// Every record must match local execution bit for bit, key included.
-	reqs := harness.Expand(harness.PaperConfigs(), workload.Names(), testInsts, testWarmup)
+	reqs, err := harness.Expand(harness.PaperConfigs(), workload.Names(), testInsts, testWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, req := range reqs {
 		want, err := results.FromRun(req, harness.Execute(req))
 		if err != nil {
@@ -96,7 +99,7 @@ func TestFleetSweepBitIdentical(t *testing.T) {
 		}
 		if !reflect.DeepEqual(sv.Results[i], want) {
 			t.Fatalf("%s/%s: fleet record differs from local execution\n got %+v\nwant %+v",
-				req.Config.Name, req.Program, sv.Results[i], want)
+				req.Config.Name, req.Workload.Name(), sv.Results[i], want)
 		}
 	}
 

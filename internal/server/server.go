@@ -59,6 +59,10 @@ type Options struct {
 	// with zero registered workers behaves exactly like a non-fleet
 	// server.
 	Fleet *fleet.CoordinatorOptions
+	// FleetSecret, when non-empty, requires every /v1/fleet/* call to
+	// carry the matching fleet.SecretHeader value; calls without it get
+	// 401. The worker protocol otherwise trusts the network.
+	FleetSecret string
 	// QueueDepth bounds the job queue; direct run submissions beyond it
 	// are refused with 503 (sweep members block-feed instead).
 	// Default: 256.
@@ -192,12 +196,17 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if opts.Fleet != nil {
-		s.fleet = fleet.NewCoordinator(*opts.Fleet)
-		s.mux.HandleFunc("POST /v1/fleet/workers", s.handleFleetRegister)
-		s.mux.HandleFunc("POST /v1/fleet/lease", s.handleFleetLease)
-		s.mux.HandleFunc("POST /v1/fleet/complete", s.handleFleetComplete)
-		s.mux.HandleFunc("POST /v1/fleet/heartbeat", s.handleFleetHeartbeat)
-		s.mux.HandleFunc("GET /v1/fleet", s.handleFleetStatus)
+		fo := *opts.Fleet
+		// Poisoned jobs must fail their registered runs, or the
+		// submitting clients would poll a parked key forever.
+		fo.OnPoison = s.poisonRun
+		s.fleet = fleet.NewCoordinator(fo)
+		auth := s.fleetAuth
+		s.mux.HandleFunc("POST /v1/fleet/workers", auth(s.handleFleetRegister))
+		s.mux.HandleFunc("POST /v1/fleet/lease", auth(s.handleFleetLease))
+		s.mux.HandleFunc("POST /v1/fleet/complete", auth(s.handleFleetComplete))
+		s.mux.HandleFunc("POST /v1/fleet/heartbeat", auth(s.handleFleetHeartbeat))
+		s.mux.HandleFunc("GET /v1/fleet", auth(s.handleFleetStatus))
 		// Several dispatchers keep store lookups (disk I/O on a warm
 		// cache-dir) off the critical path; job order is irrelevant —
 		// execution is unordered anyway and views assemble by key.
@@ -303,7 +312,7 @@ func (s *Server) runOne(key string) {
 	run := harness.Execute(req)
 	res, convErr := results.FromRun(req, run)
 	if convErr != nil {
-		res = results.Result{Key: key, Config: req.Config.Name, Program: req.Program, Err: convErr.Error()}
+		res = results.Result{Key: key, Config: req.Config.Name, Program: req.Workload.Name(), Err: convErr.Error()}
 	}
 	if res.Failed() {
 		s.metrics.RunsFailed.Add(1)
@@ -462,14 +471,17 @@ func validate(req harness.Request) error {
 	if req.Config.Name == "" {
 		return errors.New("config.name must be set")
 	}
-	if req.Program == "" {
-		return errors.New("program must be set")
-	}
-	if _, err := workload.ByName(req.Program); err != nil {
+	if err := req.Workload.Validate(); err != nil {
 		return err
 	}
 	if req.Insts == 0 {
-		return errors.New("insts must be positive")
+		// Streams may carry their own budgets; only a stream left to
+		// inherit the request default needs it to be positive.
+		for _, s := range req.Workload.Streams {
+			if s.Insts == 0 {
+				return errors.New("insts must be positive")
+			}
+		}
 	}
 	return nil
 }
@@ -495,7 +507,9 @@ func viewRun(st *runState) runView {
 }
 
 // sweepRequest is the POST /v1/sweeps body: the same grid parameters
-// harness.Expand takes.
+// harness.Expand takes. Programs entries are workload spec strings
+// ("gcc", "gcc+swim", ...), so sweeps mix multi-programmed workloads the
+// same way the CLI does.
 type sweepRequest struct {
 	Configs  []configJSON `json:"configs"`
 	Programs []string     `json:"programs"`
@@ -516,12 +530,34 @@ type sweepView struct {
 }
 
 // runSubmission is the POST /v1/runs body: one configuration (full or
-// paper shorthand) plus the harness.Request scalars.
+// paper shorthand) plus the harness.Request scalars. The workload is
+// either "program" — a workload spec string ("gcc", "gcc+swim",
+// "gcc@7+gcc@8", see workload.ParseSpec) — or the explicit "streams"
+// array; setting both is an error.
 type runSubmission struct {
 	configJSON
-	Program string `json:"program"`
-	Insts   uint64 `json:"insts"`
-	Warmup  uint64 `json:"warmup"`
+	Program string           `json:"program"`
+	Streams []results.Stream `json:"streams"`
+	Insts   uint64           `json:"insts"`
+	Warmup  uint64           `json:"warmup"`
+}
+
+// workloadSpec resolves the submission's workload.
+func (sub runSubmission) workloadSpec() (workload.Spec, error) {
+	switch {
+	case len(sub.Streams) > 0 && sub.Program != "":
+		return workload.Spec{}, errors.New(`set "program" or "streams", not both`)
+	case len(sub.Streams) > 0:
+		streams := make([]workload.StreamSpec, len(sub.Streams))
+		for i, s := range sub.Streams {
+			streams[i] = workload.StreamSpec{Program: s.Program, Insts: s.Insts, Seed: s.Seed}
+		}
+		return workload.Spec{Streams: streams}, nil
+	case sub.Program != "":
+		return workload.ParseSpec(sub.Program)
+	default:
+		return workload.Spec{}, errors.New(`missing "program" or "streams"`)
+	}
 }
 
 // handleSubmitRun accepts one simulation request.
@@ -536,7 +572,12 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	req := harness.Request{Config: cfg, Program: sub.Program, Insts: sub.Insts, Warmup: sub.Warmup}
+	spec, err := sub.workloadSpec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := harness.Request{Config: cfg, Workload: spec, Insts: sub.Insts, Warmup: sub.Warmup}
 	st, hit, err := s.submit(req)
 	if err != nil {
 		httpError(w, submitStatus(err), err)
@@ -585,11 +626,15 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	reqs := harness.Expand(configs, sr.Programs, sr.Insts, sr.Warmup)
+	reqs, err := harness.Expand(configs, sr.Programs, sr.Insts, sr.Warmup)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	keys := make([]string, len(reqs))
 	for i, req := range reqs {
 		if keys[i], err = prepare(req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("%s/%s: %w", req.Config.Name, req.Program, err))
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%s/%s: %w", req.Config.Name, req.Workload.Name(), err))
 			return
 		}
 	}

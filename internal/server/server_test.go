@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/results"
+	"repro/internal/workload"
 )
 
 // testInsts keeps e2e simulations fast while still exercising the full
@@ -129,19 +130,22 @@ func TestSweepE2E(t *testing.T) {
 	// bit for bit (the simulator is deterministic).
 	ring := core.MustPaperConfig(core.ArchRing, 4, 2, 1)
 	conv := core.MustPaperConfig(core.ArchConv, 4, 2, 1)
-	reqs := harness.Expand([]core.Config{ring, conv}, []string{"gcc", "swim"}, testInsts, testWarmup)
+	reqs, err := harness.Expand([]core.Config{ring, conv}, []string{"gcc", "swim"}, testInsts, testWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(reqs) != 4 {
 		t.Fatalf("Expand returned %d requests", len(reqs))
 	}
 	for i, req := range reqs {
 		want := harness.Execute(req)
 		if want.Err != nil {
-			t.Fatalf("direct execute %s/%s: %v", req.Config.Name, req.Program, want.Err)
+			t.Fatalf("direct execute %s/%s: %v", req.Config.Name, req.Workload.Name(), want.Err)
 		}
 		got := sv.Results[i]
-		if got.Config != req.Config.Name || got.Program != req.Program {
+		if got.Config != req.Config.Name || got.Program != req.Workload.Name() {
 			t.Fatalf("result %d is %s/%s, want %s/%s (grid order not preserved)",
-				i, got.Config, got.Program, req.Config.Name, req.Program)
+				i, got.Config, got.Program, req.Config.Name, req.Workload.Name())
 		}
 		if !reflect.DeepEqual(got.Stats, want.Stats) {
 			t.Errorf("%s/%s: service stats differ from direct execution\n got %+v\nwant %+v",
@@ -204,8 +208,8 @@ func TestRunEndpointAndDiskCache(t *testing.T) {
 	}
 	// The run id must be the content hash of the canonical request.
 	wantKey, err := results.NewRequest(harness.Request{
-		Config:  core.MustPaperConfig(core.ArchRing, 4, 2, 1),
-		Program: "gcc", Insts: testInsts, Warmup: testWarmup,
+		Config:   core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+		Workload: workload.Single("gcc"), Insts: testInsts, Warmup: testWarmup,
 	}).Key()
 	if err != nil {
 		t.Fatal(err)
@@ -264,19 +268,19 @@ func TestSubmitValidation(t *testing.T) {
 	}{
 		{"no config", map[string]any{"program": "gcc", "insts": 100}},
 		{"bad arch", map[string]any{
-			"paper": map[string]any{"arch": "torus", "clusters": 4, "iw": 2, "buses": 1},
+			"paper":   map[string]any{"arch": "torus", "clusters": 4, "iw": 2, "buses": 1},
 			"program": "gcc", "insts": 100}},
 		{"unknown program", map[string]any{
-			"paper": map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1},
+			"paper":   map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1},
 			"program": "doom", "insts": 100}},
 		{"zero insts", map[string]any{
-			"paper": map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1},
+			"paper":   map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1},
 			"program": "gcc"}},
 		{"negative hop", map[string]any{
-			"paper": map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1, "hop": -2},
+			"paper":   map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1, "hop": -2},
 			"program": "gcc", "insts": 100}},
 		{"bad steer", map[string]any{
-			"paper": map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1, "steer": "random"},
+			"paper":   map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1, "steer": "random"},
 			"program": "gcc", "insts": 100}},
 	}
 	for _, c := range cases {
@@ -354,10 +358,10 @@ func TestQueueFull(t *testing.T) {
 	refused := 0
 	for i := 0; i < 30; i++ {
 		req := harness.Request{
-			Config:  core.MustPaperConfig(core.ArchRing, 4, 2, 1),
-			Program: "gcc",
-			Insts:   10_000 + uint64(i),
-			Warmup:  testWarmup,
+			Config:   core.MustPaperConfig(core.ArchRing, 4, 2, 1),
+			Workload: workload.Single("gcc"),
+			Insts:    10_000 + uint64(i),
+			Warmup:   testWarmup,
 		}
 		_, _, err := srv.submit(req)
 		switch {

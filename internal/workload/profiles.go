@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -302,12 +303,24 @@ func Profiles() []Profile {
 	return ps
 }
 
+// byNameIndex memoizes the suite for ByName: profile construction builds
+// dozens of maps, and the Execute hot path resolves every stream's
+// profile per run. The indexed Profile structs (and their Mix maps) are
+// shared and must be treated as read-only; value copies may freely
+// override scalar fields like Seed.
+var byNameIndex = sync.OnceValue(func() map[string]Profile {
+	ps := Profiles()
+	idx := make(map[string]Profile, len(ps))
+	for _, p := range ps {
+		idx[p.Name] = p
+	}
+	return idx
+})
+
 // ByName returns the profile with the given name.
 func ByName(name string) (Profile, error) {
-	for _, p := range Profiles() {
-		if p.Name == name {
-			return p, nil
-		}
+	if p, ok := byNameIndex()[name]; ok {
+		return p, nil
 	}
 	return Profile{}, fmt.Errorf("workload: unknown program %q", name)
 }

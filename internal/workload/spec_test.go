@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSpecParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"gcc", Single("gcc")},
+		{"gcc+swim", Mix("gcc", "swim")},
+		{"gcc@7", Spec{Streams: []StreamSpec{{Program: "gcc", Seed: 7}}}},
+		{"gcc:50000", Spec{Streams: []StreamSpec{{Program: "gcc", Insts: 50000}}}},
+		{"gcc:50000@7+swim", Spec{Streams: []StreamSpec{
+			{Program: "gcc", Insts: 50000, Seed: 7}, {Program: "swim"}}}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if name := got.Name(); name != c.in {
+			t.Errorf("Name() round trip: %q -> %q", c.in, name)
+		}
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, in := range []string{"", "gcc@", "gcc@x", "gcc:", "gcc:x", "+gcc", "gcc+", "@3"} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestSpecSingleProgram(t *testing.T) {
+	if name, ok := Single("gcc").SingleProgram(); !ok || name != "gcc" {
+		t.Errorf("Single(gcc).SingleProgram() = %q, %v", name, ok)
+	}
+	for _, s := range []Spec{
+		Mix("gcc", "swim"),
+		{Streams: []StreamSpec{{Program: "gcc", Seed: 1}}},
+		{Streams: []StreamSpec{{Program: "gcc", Insts: 10}}},
+	} {
+		if _, ok := s.SingleProgram(); ok {
+			t.Errorf("%s claims to be the single-program shorthand", s.Name())
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := Mix("gcc", "swim").Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	bad := []Spec{
+		{},
+		Mix("gcc", "nosuch"),
+		{Streams: []StreamSpec{{Program: ""}}},
+		Mix("gcc", "gcc", "gcc", "gcc", "gcc", "gcc", "gcc", "gcc", "gcc"), // 9 > MaxStreams
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid spec %+v accepted", s)
+		}
+	}
+}
+
+func TestSpecClass(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want ProgramClass
+	}{
+		{Single("gcc"), ClassInt},
+		{Single("swim"), ClassFP},
+		{Mix("gcc", "crafty"), ClassInt},
+		{Mix("swim", "applu"), ClassFP},
+		{Mix("gcc", "swim"), ClassMixed},
+	}
+	for _, c := range cases {
+		got, err := c.spec.Class()
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Name(), err)
+		}
+		if got != c.want {
+			t.Errorf("%s class = %v, want %v", c.spec.Name(), got, c.want)
+		}
+	}
+	if _, err := Single("nosuch").Class(); err == nil {
+		t.Error("unknown program class accepted")
+	}
+	if ClassMixed.String() != "MIX" {
+		t.Errorf("ClassMixed label %q", ClassMixed.String())
+	}
+}

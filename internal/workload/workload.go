@@ -38,14 +38,21 @@ const (
 	ClassInt ProgramClass = iota
 	// ClassFP marks SPECfp2000-like profiles.
 	ClassFP
+	// ClassMixed marks a multi-programmed workload whose streams span
+	// both suites; no single profile carries it.
+	ClassMixed
 )
 
-// String returns "INT" or "FP".
+// String returns "INT", "FP" or "MIX".
 func (c ProgramClass) String() string {
-	if c == ClassInt {
+	switch c {
+	case ClassInt:
 		return "INT"
+	case ClassFP:
+		return "FP"
+	default:
+		return "MIX"
 	}
-	return "FP"
 }
 
 // Profile parameterizes one synthetic program. All probabilities are in
