@@ -16,6 +16,8 @@
 //	        [-budget N] [-samples N] [-seed N] [-progs ...]
 //	        [-insts N] [-warmup N] [-cache-dir DIR] [-json]
 //
+//	ringsim attach [-addr URL] [-interval D] [-json] <id>
+//
 // With -json, output is the internal/results encoding: one JSON array of
 // result records, each carrying the same content-hash key ringsimd uses,
 // so CLI runs and service cache entries are directly comparable.
@@ -23,6 +25,11 @@
 // The explore subcommand searches a configuration space for the
 // IPC × area Pareto frontier (see internal/dse); it shares the search
 // engine and content-addressed caching with ringsimd's /v1/explore.
+//
+// The attach subcommand re-attaches to in-flight or finished ringsimd
+// work by its durable id (sweep-…, explore-…, or a 64-hex run key) and
+// polls it to completion — the ids survive coordinator crashes when the
+// daemon runs with a journal (-journal-dir).
 package main
 
 import (
@@ -41,6 +48,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "explore" {
 		exploreMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "attach" {
+		attachMain(os.Args[2:])
 		return
 	}
 	arch := flag.String("arch", "ring", "architecture: ring or conv")

@@ -10,7 +10,8 @@
 //
 //	ringsimd [-addr :8080] [-workers N] [-queue N]
 //	         [-cache-dir DIR] [-cache-max-bytes N] [-mem-entries N]
-//	         [-pprof-addr HOST:PORT] [-fleet] [-fleet-secret S]
+//	         [-journal-dir DIR] [-pprof-addr HOST:PORT]
+//	         [-fleet] [-fleet-secret S]
 //	         [-lease-ttl 30s] [-heartbeat 10s]
 //
 // With -cache-dir the cache is tiered: an in-memory LRU in front of an
@@ -18,6 +19,17 @@
 // results live only in the LRU. -cache-max-bytes bounds the disk store:
 // past the bound, least-recently-used entries are pruned (safe — every
 // entry is re-simulatable).
+//
+// With -journal-dir the coordinator's control state is crash-safe: every
+// pending-pool mutation (enqueue, lease, complete, poison) is journaled,
+// and sweep/exploration manifests are persisted under their durable ids.
+// After a crash (kill -9 included) a restart replays the journal, settles
+// jobs whose results already sit in the store, re-queues the rest, and
+// serves `GET /v1/sweeps/{id}` / `GET /v1/explore/{id}` for ids handed
+// out by the dead process. Defaults to <cache-dir>/journal when
+// -cache-dir is set; "none" disables journaling even then. Journaling
+// without any disk store works but recovers by re-simulating, since
+// results die with the process.
 //
 // With -fleet the daemon coordinates remote ringsim-worker processes
 // (see cmd/ringsim-worker): all queued work is sharded across registered
@@ -44,11 +56,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/journal"
 	"repro/internal/results"
 	"repro/internal/server"
 )
@@ -60,6 +74,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "size bound for -cache-dir; least-recently-used entries are pruned past it (0 = unbounded)")
 	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
+	journalDir := flag.String("journal-dir", "", "coordinator journal directory for crash-safe sweeps/explorations (default <cache-dir>/journal when -cache-dir is set; \"none\" disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	fleetMode := flag.Bool("fleet", false, "coordinate remote ringsim-worker processes via /v1/fleet")
 	fleetSecret := flag.String("fleet-secret", "", "shared secret required on every /v1/fleet call (empty = unauthenticated)")
@@ -83,10 +98,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringsimd: -workers -1 (dispatch-only) requires -fleet")
 		os.Exit(2)
 	}
+	jdir := *journalDir
+	if jdir == "" && *cacheDir != "" {
+		jdir = filepath.Join(*cacheDir, "journal")
+	}
+	var jnl *journal.Journal
+	if jdir != "" && jdir != "none" {
+		jnl, err = journal.Open(jdir, journal.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ringsimd:", err)
+			os.Exit(2)
+		}
+		opts.Journal = jnl
+	}
 	srv, err := server.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringsimd:", err)
 		os.Exit(2)
+	}
+	if jnl != nil {
+		rec := srv.Recovery()
+		msg := fmt.Sprintf("ringsimd: journal %s replayed %d entries: %d jobs re-queued/settled, %d sweeps/explorations re-attached",
+			jdir, rec.Entries, rec.Jobs, rec.Manifests)
+		if rec.Torn {
+			msg += " (discarded a torn final record)"
+		}
+		log.Print(msg)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -99,8 +136,12 @@ func main() {
 	if *fleetMode {
 		mode = fmt.Sprintf("fleet coordinator (lease TTL %s)", *leaseTTL)
 	}
-	log.Printf("ringsimd: listening on %s (%d local workers, queue %d, cache %s, %s)",
-		*addr, *workers, *queue, desc, mode)
+	durability := "journal off"
+	if jnl != nil {
+		durability = "journal " + jdir
+	}
+	log.Printf("ringsimd: listening on %s (%d local workers, queue %d, cache %s, %s, %s)",
+		*addr, *workers, *queue, desc, mode, durability)
 	select {
 	case <-ctx.Done():
 		// Drain gracefully: stop the listener, then let queued and
@@ -108,11 +149,24 @@ func main() {
 		log.Printf("ringsimd: shutting down, draining in-flight simulations")
 		_ = hs.Shutdown(context.Background())
 		srv.Close()
+		closeJournal(jnl)
 	case err := <-errc:
 		srv.Close()
+		closeJournal(jnl)
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("ringsimd: ", err)
 		}
+	}
+}
+
+// closeJournal compacts and closes the coordinator journal after the
+// server has drained (the server never closes it itself).
+func closeJournal(j *journal.Journal) {
+	if j == nil {
+		return
+	}
+	if err := j.Close(); err != nil {
+		log.Printf("ringsimd: journal close: %v", err)
 	}
 }
 

@@ -1,0 +1,254 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/results"
+)
+
+// fakeClock drives the checkpoint-interval logic without sleeping.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testOptions keeps automatic checkpoints out of the way unless a test
+// asks for them, and pins the clock.
+func testOptions(c *fakeClock) Options {
+	return Options{CheckpointEvery: 1 << 20, CheckpointInterval: 365 * 24 * time.Hour, NoSync: true, Now: c.now}
+}
+
+func job(key string) results.Job {
+	return results.Job{Key: key, Request: results.Request{Schema: results.SchemaVersion, Program: key, Insts: 1000}}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func appendAll(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func jobKeys(jobs []results.Job) []string {
+	keys := make([]string, len(jobs))
+	for i, jb := range jobs {
+		keys[i] = jb.Key
+	}
+	return keys
+}
+
+func wantStrings(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+}
+
+func enq(key string) Record {
+	jb := job(key)
+	return Record{Op: OpEnqueue, Job: &jb}
+}
+
+// TestAppendCrashReplay writes a mixed mutation history, "crashes"
+// (never calls Close), and expects a fresh Open to reconstruct exactly
+// the live jobs and open manifests, in order.
+func TestAppendCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	c := newFakeClock()
+	j := mustOpen(t, dir, testOptions(c))
+	appendAll(t, j,
+		enq("a"), enq("b"), enq("c"),
+		Record{Op: OpLease, Key: "a", Worker: "worker-0001"},
+		Record{Op: OpComplete, Key: "b"},
+		Record{Op: OpManifestOpen, Manifest: "sweep-1111111111111111"},
+		Record{Op: OpManifestOpen, Manifest: "sweep-2222222222222222"},
+		Record{Op: OpManifestDone, Manifest: "sweep-1111111111111111"},
+		Record{Op: OpPoison, Key: "c"},
+	)
+
+	j2 := mustOpen(t, dir, testOptions(c))
+	st := j2.ReplayState()
+	wantStrings(t, "replayed jobs", jobKeys(st.Jobs), []string{"a"})
+	wantStrings(t, "open manifests", st.OpenManifests, []string{"sweep-2222222222222222"})
+	if st.Entries != 9 {
+		t.Errorf("Entries = %d, want 9", st.Entries)
+	}
+	if st.Torn {
+		t.Error("Torn = true on a clean log")
+	}
+	if got := j2.Stats().Replayed; got != 9 {
+		t.Errorf("Stats().Replayed = %d, want 9", got)
+	}
+	// The leased job replays with its full request intact.
+	if st.Jobs[0].Request.Program != "a" {
+		t.Errorf("replayed job lost its request: %+v", st.Jobs[0])
+	}
+}
+
+// TestCheckpointByCount expects an automatic compaction after
+// CheckpointEvery appends: the log truncates and a crash replays from
+// the checkpoint, not the records.
+func TestCheckpointByCount(t *testing.T) {
+	dir := t.TempDir()
+	c := newFakeClock()
+	opts := testOptions(c)
+	opts.CheckpointEvery = 4
+	j := mustOpen(t, dir, opts)
+	appendAll(t, j, enq("a"), enq("b"), Record{Op: OpComplete, Key: "a"}, enq("d"))
+	if got := j.Stats().Checkpoints; got != 2 { // one at Open, one automatic
+		t.Fatalf("Checkpoints = %d, want 2", got)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "journal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not truncated after checkpoint: %v %d", err, fi.Size())
+	}
+	// Records after the checkpoint land in the fresh log.
+	appendAll(t, j, enq("e"))
+
+	j2 := mustOpen(t, dir, testOptions(c))
+	st := j2.ReplayState()
+	wantStrings(t, "replayed jobs", jobKeys(st.Jobs), []string{"b", "d", "e"})
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1 (only the post-checkpoint record)", st.Entries)
+	}
+}
+
+// TestCheckpointByClock expects an append landing past the interval to
+// trigger a compaction on the fake clock.
+func TestCheckpointByClock(t *testing.T) {
+	dir := t.TempDir()
+	c := newFakeClock()
+	opts := testOptions(c)
+	opts.CheckpointInterval = time.Minute
+	j := mustOpen(t, dir, opts)
+	appendAll(t, j, enq("a"))
+	if got := j.Stats().Checkpoints; got != 1 {
+		t.Fatalf("early checkpoint: Checkpoints = %d, want 1", got)
+	}
+	c.advance(61 * time.Second)
+	appendAll(t, j, enq("b"))
+	if got := j.Stats().Checkpoints; got != 2 {
+		t.Fatalf("Checkpoints = %d, want 2 after interval elapsed", got)
+	}
+	j2 := mustOpen(t, dir, testOptions(c))
+	wantStrings(t, "replayed jobs", jobKeys(j2.ReplayState().Jobs), []string{"a", "b"})
+}
+
+// TestTornFinalRecord simulates a crash mid-append: the log ends in a
+// truncated record, which replay must discard — losing only that one
+// mutation — and report.
+func TestTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	c := newFakeClock()
+	j := mustOpen(t, dir, testOptions(c))
+	appendAll(t, j, enq("a"), enq("b"), Record{Op: OpComplete, Key: "a"})
+	f, err := os.OpenFile(filepath.Join(dir, "journal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"complete","ke`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := mustOpen(t, dir, testOptions(c))
+	st := j2.ReplayState()
+	if !st.Torn {
+		t.Error("Torn = false, want true")
+	}
+	if got := j2.Stats().Torn; got != 1 {
+		t.Errorf("Stats().Torn = %d, want 1", got)
+	}
+	wantStrings(t, "replayed jobs", jobKeys(st.Jobs), []string{"b"})
+	// The compaction at Open cleared the torn tail: a third open is clean.
+	j3 := mustOpen(t, dir, testOptions(c))
+	if st := j3.ReplayState(); st.Torn {
+		t.Error("torn tail survived the recovery compaction")
+	}
+}
+
+// TestReplayIdempotent re-applies history over a state that already
+// absorbed it (the crash-between-checkpoint-and-truncate window):
+// duplicate enqueues and completes for missing keys must converge, not
+// error or duplicate.
+func TestReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	c := newFakeClock()
+	j := mustOpen(t, dir, testOptions(c))
+	appendAll(t, j,
+		enq("a"), enq("a"), // duplicate enqueue
+		Record{Op: OpComplete, Key: "zzz"},                             // complete for an unknown key
+		Record{Op: OpManifestDone, Manifest: "sweep-0000000000000000"}, // done without open
+		enq("b"), Record{Op: OpComplete, Key: "b"}, enq("b"), // re-enqueue after completion
+	)
+	j2 := mustOpen(t, dir, testOptions(c))
+	wantStrings(t, "replayed jobs", jobKeys(j2.ReplayState().Jobs), []string{"a", "b"})
+}
+
+// TestManifestRoundTrip covers manifest persistence: put/get, missing
+// ids, and MarkManifestDone closing the manifest durably (Done + Final
+// on disk, removed from the open set on replay).
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := newFakeClock()
+	j := mustOpen(t, dir, testOptions(c))
+
+	if _, ok, err := j.GetManifest("sweep-aaaaaaaaaaaaaaaa"); err != nil || ok {
+		t.Fatalf("missing manifest: ok=%v err=%v, want absent", ok, err)
+	}
+	m, err := results.NewSweepManifest([]results.Job{job("k1"), job("k2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "sweep-feedfeedfeedfeed"
+	if err := j.PutManifest(id, m); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, Record{Op: OpManifestOpen, Manifest: id})
+
+	got, ok, err := j.GetManifest(id)
+	if err != nil || !ok {
+		t.Fatalf("GetManifest: ok=%v err=%v", ok, err)
+	}
+	wantStrings(t, "manifest keys", got.Keys(), []string{"k1", "k2"})
+	if got.Done {
+		t.Error("fresh manifest already done")
+	}
+
+	if err := j.MarkManifestDone(id, []byte(`{"status":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = j.GetManifest(id)
+	if err != nil || !ok || !got.Done || string(got.Final) != `{"status":"done"}` {
+		t.Fatalf("manifest after done: %+v ok=%v err=%v", got, ok, err)
+	}
+	j2 := mustOpen(t, dir, testOptions(c))
+	if open := j2.ReplayState().OpenManifests; len(open) != 0 {
+		t.Errorf("done manifest still open after replay: %v", open)
+	}
+	// Path traversal in ids is refused.
+	if err := j.PutManifest("../escape", m); err == nil {
+		t.Error("PutManifest accepted a traversal id")
+	}
+}

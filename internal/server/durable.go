@@ -1,0 +1,480 @@
+package server
+
+// Durable control plane: with Options.Journal set, every pending-pool
+// mutation and every composite submission (sweep, exploration) is
+// persisted through internal/journal next to the content-addressed
+// store. This file holds the three pieces that make the service
+// crash-safe:
+//
+//   - startup replay (recoverFromJournal): jobs whose results are
+//     already in the store settle as cache hits, the rest re-queue, and
+//     open manifests re-register their sweeps/explorations under the
+//     original client-visible ids;
+//   - re-attach fallbacks: GETs for ids the in-memory registries forgot
+//     are answered from manifest + store instead of 404;
+//   - the terminal "lost" state: a run id that is neither registered
+//     nor in the store is reported lost — a clear, terminal error —
+//     instead of leaving the client polling a phantom forever.
+//
+// Journal appends happen outside s.mu (they are disk writes) and
+// strictly after the in-memory mutation they record. A crash in that
+// window loses only the append: replay then re-queues work that already
+// finished, and the content-addressed store settles it without
+// re-simulating. Recovery can over-deliver, never corrupt.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/results"
+)
+
+// localWorkerLabel labels local-pool completions in the per-worker
+// latency histogram.
+const localWorkerLabel = "local"
+
+// isRunKey reports whether id is shaped like a run content key (64
+// lowercase hex digits). Garbage ids stay 404; only plausible keys get
+// store fallbacks and the lost state.
+func isRunKey(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// --- journal hooks ---
+//
+// All hooks are no-ops without a journal and after Terminate (a real
+// crash stops journaling mid-air; the test stand-in should too). Append
+// errors are deliberately dropped: the journal is a durability
+// improvement, not a correctness dependency, and refusing service
+// because the WAL disk hiccuped would be strictly worse than running
+// memory-only.
+
+func (s *Server) journaling() bool {
+	return s.opts.Journal != nil && !s.killed.Load()
+}
+
+// journalEnqueue records a fresh registration entering the pending pool.
+func (s *Server) journalEnqueue(key string, wire results.Request) {
+	if !s.journaling() {
+		return
+	}
+	jb := results.Job{Key: key, Request: wire}
+	_ = s.opts.Journal.Append(journal.Record{Op: journal.OpEnqueue, Job: &jb})
+}
+
+// journalComplete records a run turning terminal (done or failed).
+func (s *Server) journalComplete(key string) {
+	if !s.journaling() {
+		return
+	}
+	_ = s.opts.Journal.Append(journal.Record{Op: journal.OpComplete, Key: key})
+}
+
+// journalPoison records a job parked in the poisoned lot.
+func (s *Server) journalPoison(key string) {
+	if !s.journaling() {
+		return
+	}
+	_ = s.opts.Journal.Append(journal.Record{Op: journal.OpPoison, Key: key})
+}
+
+// journalLease records jobs going out under a worker lease (audit only;
+// replay re-queues leased jobs).
+func (s *Server) journalLease(worker string, jobs []results.Job) {
+	if !s.journaling() {
+		return
+	}
+	for _, j := range jobs {
+		_ = s.opts.Journal.Append(journal.Record{Op: journal.OpLease, Key: j.Key, Worker: worker})
+	}
+}
+
+// journalManifestOpen persists a manifest and records it live.
+func (s *Server) journalManifestOpen(id string, m results.Manifest) {
+	if !s.journaling() {
+		return
+	}
+	if err := s.opts.Journal.PutManifest(id, m); err != nil {
+		return
+	}
+	_ = s.opts.Journal.Append(journal.Record{Op: journal.OpManifestOpen, Manifest: id})
+}
+
+// journalSweepDone records a sweep's terminal view on its manifest.
+func (s *Server) journalSweepDone(v sweepView) {
+	if !s.journaling() {
+		return
+	}
+	final, err := json.Marshal(v)
+	if err != nil {
+		final = nil
+	}
+	_ = s.opts.Journal.MarkManifestDone(v.ID, final)
+}
+
+// journalExploreDone records an exploration's terminal view on its
+// manifest.
+func (s *Server) journalExploreDone(v exploreView) {
+	if !s.journaling() {
+		return
+	}
+	final, err := json.Marshal(v)
+	if err != nil {
+		final = nil
+	}
+	_ = s.opts.Journal.MarkManifestDone(v.ID, final)
+}
+
+// --- startup replay ---
+
+// recoverFromJournal rebuilds coordinator state from the journal's
+// recovered State: live jobs settle from the store or re-queue, open
+// sweep manifests re-register under their original ids, open
+// exploration manifests re-drive their searches (every already-evaluated
+// point comes back as a cache hit). Runs during New, before the server
+// accepts traffic.
+func (s *Server) recoverFromJournal() {
+	j := s.opts.Journal
+	state := j.ReplayState()
+
+	// Store lookups happen before taking s.mu: the store may be disk.
+	type recovered struct {
+		job results.Job
+		res results.Result
+		hit bool
+	}
+	recs := make([]recovered, 0, len(state.Jobs))
+	for _, jb := range state.Jobs {
+		if err := jb.Verify(); err != nil {
+			// A job whose key no longer matches its request was written
+			// by a different schema version; its submitters are gone
+			// with the old process. Retire it so replay stops seeing it.
+			_ = j.Append(journal.Record{Op: journal.OpComplete, Key: jb.Key})
+			continue
+		}
+		res, hit, err := s.opts.Store.Get(jb.Key)
+		recs = append(recs, recovered{job: jb, res: res, hit: hit && err == nil})
+	}
+
+	var pending []string
+	settled := 0
+	s.mu.Lock()
+	for _, r := range recs {
+		if _, ok := s.runs[r.job.Key]; ok {
+			continue
+		}
+		st := &runState{key: r.job.Key, req: r.job.Request.Harness(), status: statusQueued, queuedAt: time.Now()}
+		s.runs[r.job.Key] = st
+		if r.hit {
+			s.finishLocked(st, r.res, true)
+			settled++
+		} else {
+			pending = append(pending, r.job.Key)
+		}
+	}
+	if len(pending) > 0 {
+		s.feederWG.Add(1)
+		go s.feed(pending)
+	}
+	s.mu.Unlock()
+	for _, r := range recs {
+		if r.hit {
+			s.metrics.CacheHits.Add(1)
+			s.journalComplete(r.job.Key)
+		}
+	}
+
+	for _, id := range state.OpenManifests {
+		m, ok, err := j.GetManifest(id)
+		if err != nil || !ok || m.Verify() != nil {
+			// No readable manifest body: nothing to rebuild, stop
+			// replaying it. (Member runs, if any, recovered above.)
+			_ = j.Append(journal.Record{Op: journal.OpManifestDone, Manifest: id})
+			continue
+		}
+		switch m.Kind {
+		case results.ManifestKindSweep:
+			s.recoverSweep(id, m)
+		case results.ManifestKindExplore:
+			s.recoverExplore(id, m)
+		}
+	}
+}
+
+// recoverSweep re-registers an unfinished sweep under its original id.
+// Members missing from the registry (their enqueue record was
+// checkpoint-compacted away after completing, then the result fell out
+// of the store) are re-queued.
+func (s *Server) recoverSweep(id string, m results.Manifest) {
+	type member struct {
+		job results.Job
+		res results.Result
+		hit bool
+	}
+	members := make([]member, 0, len(m.Jobs))
+	for _, jb := range m.Jobs {
+		res, hit, err := s.opts.Store.Get(jb.Key)
+		members = append(members, member{job: jb, res: res, hit: hit && err == nil})
+	}
+
+	var requeued []results.Job
+	var pending, settled []string
+	s.mu.Lock()
+	if _, ok := s.sweeps[id]; ok {
+		s.mu.Unlock()
+		return
+	}
+	sw := &sweepState{id: id, keys: m.Keys(), preCached: make(map[string]bool)}
+	for _, mb := range members {
+		st, ok := s.runs[mb.job.Key]
+		if !ok {
+			st = &runState{key: mb.job.Key, req: mb.job.Request.Harness(), status: statusQueued, queuedAt: time.Now()}
+			s.runs[mb.job.Key] = st
+			if mb.hit {
+				s.finishLocked(st, mb.res, true)
+				settled = append(settled, mb.job.Key)
+			} else {
+				pending = append(pending, mb.job.Key)
+				requeued = append(requeued, mb.job)
+			}
+		}
+		st.refs++
+		if st.status.terminal() && st.cached {
+			sw.preCached[mb.job.Key] = true
+		}
+	}
+	s.sweeps[id] = sw
+	s.sweepOrder = append(s.sweepOrder, id)
+	s.evictSweepsLocked()
+	if len(pending) > 0 {
+		s.feederWG.Add(1)
+		go s.feed(pending)
+	}
+	s.mu.Unlock()
+	s.metrics.CacheHits.Add(uint64(len(settled)))
+	for _, jb := range requeued {
+		s.journalEnqueue(jb.Key, jb.Request)
+	}
+}
+
+// recoverExplore re-drives an unfinished exploration under its original
+// id. Explorations are deterministic given their request, so replay is
+// a re-run in which every already-evaluated candidate is a store hit.
+func (s *Server) recoverExplore(id string, m results.Manifest) {
+	var er exploreRequest
+	if err := json.Unmarshal(m.Explore, &er); err != nil {
+		_ = s.opts.Journal.Append(journal.Record{Op: journal.OpManifestDone, Manifest: id})
+		return
+	}
+	space, strat, programs, err := s.resolveExplore(&er)
+	if err != nil {
+		// The request no longer resolves (e.g. a renamed config profile
+		// across versions): it can never finish, so retire the manifest
+		// rather than replay-crash forever.
+		_ = s.opts.Journal.Append(journal.Record{Op: journal.OpManifestDone, Manifest: id})
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.explores[id]; ok {
+		s.mu.Unlock()
+		return
+	}
+	st := &exploreState{id: id, status: statusRunning}
+	st.view = exploreView{ID: id, Status: statusRunning, Strategy: strat.Name(), SpaceSize: space.Size()}
+	s.explores[id] = st
+	s.exploreOrder = append(s.exploreOrder, id)
+	s.evictExploresLocked()
+	s.exploreWG.Add(1)
+	s.mu.Unlock()
+	go s.driveExplore(st, space, strat, programs, er)
+}
+
+// --- re-attach fallbacks ---
+
+// lostRunError explains the terminal lost state to a polling client.
+const lostRunError = "run is not registered on this coordinator and its result is not in the store: " +
+	"the job was lost (pre-journal restart or registry eviction) — resubmit it"
+
+// runFallback answers a GET for a run id the registry does not hold.
+// Plausible content keys are answered from the store (done, cached) or
+// reported terminally lost; anything else stays a 404.
+func (s *Server) runFallback(w http.ResponseWriter, id string) bool {
+	if !isRunKey(id) {
+		return false
+	}
+	if res, hit, err := s.opts.Store.Get(id); err == nil && hit {
+		v := runView{ID: id, Status: statusDone, Cached: true, Result: &res}
+		if res.Failed() {
+			v.Status = statusFailed
+		}
+		writeJSON(w, http.StatusOK, v)
+		return true
+	}
+	writeJSON(w, http.StatusOK, runView{ID: id, Status: statusLost, Error: lostRunError})
+	return true
+}
+
+// sweepFallback answers a GET for a sweep id the registry does not hold
+// by reconstructing the view purely from its durable manifest plus the
+// content-addressed store — the re-attach path.
+func (s *Server) sweepFallback(w http.ResponseWriter, id string) bool {
+	if s.opts.Journal == nil || !strings.HasPrefix(id, results.ManifestKindSweep+"-") {
+		return false
+	}
+	m, ok, err := s.opts.Journal.GetManifest(id)
+	if err != nil || !ok || m.Kind != results.ManifestKindSweep {
+		return false
+	}
+	if m.Done && len(m.Final) > 0 {
+		var v sweepView
+		if json.Unmarshal(m.Final, &v) == nil && v.ID == id {
+			writeJSON(w, http.StatusOK, v)
+			return true
+		}
+	}
+	writeJSON(w, http.StatusOK, s.reconstructSweepView(id, m))
+	return true
+}
+
+// reconstructSweepView assembles sweep progress from manifest + store.
+// Members neither registered nor stored are reported lost: with the
+// sweep itself out of the registry nothing will ever run them, and the
+// client must see a terminal state, not an eternal "running".
+func (s *Server) reconstructSweepView(id string, m results.Manifest) sweepView {
+	v := sweepView{ID: id, Total: len(m.Jobs), Runs: make([]runView, 0, len(m.Jobs))}
+	for _, jb := range m.Jobs {
+		var rv runView
+		s.mu.Lock()
+		st, ok := s.runs[jb.Key]
+		if ok {
+			rv = viewRun(st)
+		}
+		s.mu.Unlock()
+		if !ok {
+			if res, hit, err := s.opts.Store.Get(jb.Key); err == nil && hit {
+				rv = runView{ID: jb.Key, Status: statusDone, Cached: true, Result: &res}
+				if res.Failed() {
+					rv.Status = statusFailed
+				}
+			} else {
+				rv = runView{ID: jb.Key, Status: statusLost, Error: lostRunError}
+			}
+		}
+		v.Runs = append(v.Runs, rv)
+		switch rv.Status {
+		case statusDone:
+			v.Done++
+		case statusFailed:
+			v.Failed++
+		case statusLost:
+			v.Lost++
+		}
+		if rv.Cached {
+			v.CacheHits++
+		}
+	}
+	switch {
+	case v.Done+v.Failed+v.Lost < v.Total:
+		v.Status = statusRunning
+		return v
+	case v.Lost == v.Total:
+		v.Status = statusLost
+	case v.Failed > 0 || v.Lost > 0:
+		v.Status = statusFailed
+	default:
+		v.Status = statusDone
+	}
+	if v.Failed == 0 && v.Lost == 0 {
+		v.Results = make([]results.Result, 0, len(v.Runs))
+		for _, rv := range v.Runs {
+			v.Results = append(v.Results, *rv.Result)
+		}
+	}
+	return v
+}
+
+// exploreFallback answers a GET for an exploration id the registry does
+// not hold from its manifest's terminal snapshot. Unfinished
+// explorations are not served this way — recovery re-drives them into
+// the registry, so a missing registry entry with an unfinished manifest
+// means the id belongs to no recoverable work.
+func (s *Server) exploreFallback(w http.ResponseWriter, id string) bool {
+	if s.opts.Journal == nil || !strings.HasPrefix(id, results.ManifestKindExplore+"-") {
+		return false
+	}
+	m, ok, err := s.opts.Journal.GetManifest(id)
+	if err != nil || !ok || m.Kind != results.ManifestKindExplore || !m.Done || len(m.Final) == 0 {
+		return false
+	}
+	var v exploreView
+	if err := json.Unmarshal(m.Final, &v); err != nil || v.ID != id {
+		return false
+	}
+	writeJSON(w, http.StatusOK, v)
+	return true
+}
+
+// --- crash stand-in ---
+
+// Terminate abandons the server without draining: submissions stop, the
+// queue is discarded unexecuted, and no further journal records are
+// written. It is the in-process stand-in for `kill -9` used by the
+// crash-recovery tests — after Terminate, a new Server over the same
+// journal and store must recover everything Close would have drained.
+func (s *Server) Terminate() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// killed makes workers drain the queue without executing and mutes
+	// every journal hook, so the on-disk state freezes as of this
+	// instant — exactly what a real crash leaves behind.
+	s.killed.Store(true)
+	close(s.quit)
+	s.exploreWG.Wait()
+	s.feederWG.Wait()
+	close(s.jobs)
+	if s.fleet != nil {
+		s.dispatchWG.Wait()
+		s.fleet.Stop()
+	}
+	s.wg.Wait()
+}
+
+// RecoveryInfo summarizes what startup replay reconstructed, for the
+// daemon's boot log.
+type RecoveryInfo struct {
+	Entries   int  `json:"entries"`
+	Jobs      int  `json:"jobs"`
+	Manifests int  `json:"manifests"`
+	Torn      bool `json:"torn"`
+}
+
+// Recovery reports the journal replay summary (zero without a journal).
+func (s *Server) Recovery() RecoveryInfo {
+	if s.opts.Journal == nil {
+		return RecoveryInfo{}
+	}
+	st := s.opts.Journal.ReplayState()
+	return RecoveryInfo{
+		Entries:   st.Entries,
+		Jobs:      len(st.Jobs),
+		Manifests: len(st.OpenManifests),
+		Torn:      st.Torn,
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/journal"
+	"repro/internal/results"
+)
+
+// newDurableServer wires a server onto a shared disk store + journal
+// directory pair, standing in for one ringsimd process generation.
+func newDurableServer(t *testing.T, dir string, workers int) (*Server, *httptest.Server, *journal.Journal) {
+	t.Helper()
+	store, err := results.NewDisk(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NoSync keeps the test fast; crash-window semantics are covered by
+	// the journal's own unit tests.
+	j, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Workers: workers, QueueDepth: 64, Store: store, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, httptest.NewServer(srv.Handler()), j
+}
+
+// TestCrashRecoverySweepE2E is the acceptance scenario for the durable
+// control plane: kill the coordinator mid-sweep (Terminate, the
+// in-process `kill -9`), restart over the same journal + store,
+// re-attach by the durable sweep id, and require (1) the sweep finishes,
+// (2) content keys and results are bit-identical to direct execution,
+// and (3) members completed before the crash are settled from the store
+// without re-simulating.
+func TestCrashRecoverySweepE2E(t *testing.T) {
+	dir := t.TempDir()
+	srv1, hs1, _ := newDurableServer(t, dir, 1)
+
+	// Heavier members than the usual e2e grid so the kill lands with
+	// work genuinely outstanding on the single worker.
+	body := sweepBody()
+	body["insts"] = 40 * testInsts
+
+	var sv sweepView
+	postJSON(t, hs1.URL+"/v1/sweeps", body, http.StatusAccepted, &sv)
+	if sv.ID == "" || !strings.HasPrefix(sv.ID, "sweep-") || sv.Total != 4 {
+		t.Fatalf("submit: %+v", sv)
+	}
+	id := sv.ID
+
+	// Let some (ideally not all) members finish, then crash.
+	deadline := time.Now().Add(2 * time.Minute)
+	for sv.Done == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no member finished before deadline: %+v", sv)
+		}
+		time.Sleep(2 * time.Millisecond)
+		getJSON(t, hs1.URL+"/v1/sweeps/"+id, &sv)
+	}
+	srv1.Terminate()
+	hs1.Close()
+
+	// What the dead process had durably finished (done ⇒ stored).
+	srv1.mu.Lock()
+	completedBefore := 0
+	var memberReqs []harness.Request
+	for _, key := range srv1.sweeps[id].keys {
+		st := srv1.runs[key]
+		memberReqs = append(memberReqs, st.req)
+		if st.status == statusDone {
+			completedBefore++
+		}
+	}
+	srv1.mu.Unlock()
+	if completedBefore == 0 {
+		t.Fatal("crash happened before any completion; test setup broken")
+	}
+
+	// Process generation 2: recovery replays the journal, then the
+	// client re-attaches with the same durable id.
+	srv2, hs2, j2 := newDurableServer(t, dir, 2)
+	t.Cleanup(func() { hs2.Close(); srv2.Close() })
+	if j2.Stats().Replayed == 0 {
+		t.Error("second process replayed nothing")
+	}
+	if rec := srv2.Recovery(); rec.Jobs == 0 && rec.Manifests == 0 {
+		t.Errorf("recovery reconstructed nothing: %+v", rec)
+	}
+
+	final := pollSweep(t, hs2.URL, id)
+	if final.Status != statusDone || final.Done != 4 || final.Lost != 0 || len(final.Results) != 4 {
+		t.Fatalf("re-attached sweep: %+v", final)
+	}
+
+	// Bit-identical identity and stats versus direct execution.
+	for i, req := range memberReqs {
+		want, err := results.FromRun(req, harness.Execute(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := final.Results[i]
+		if got.Key != want.Key {
+			t.Errorf("member %d key %s, want %s", i, got.Key, want.Key)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Errorf("member %d stats diverged after recovery", i)
+		}
+	}
+
+	// Zero re-simulation of completed jobs: the new process simulated
+	// only what the crash left unfinished and settled the rest from the
+	// store.
+	m := srv2.Metrics()
+	if want := uint64(4 - completedBefore); m.RunsStarted != want {
+		t.Errorf("RunsStarted = %d, want %d (completed-before-crash must not re-simulate)", m.RunsStarted, want)
+	}
+	if m.CacheHits < uint64(completedBefore) {
+		t.Errorf("CacheHits = %d, want >= %d", m.CacheHits, completedBefore)
+	}
+	if m.Journal.Replayed == 0 {
+		t.Error("journal replay counter not surfaced in metrics")
+	}
+}
+
+// TestCrashRecoveryExplore kills the coordinator during a design-space
+// exploration and expects the restarted process to re-drive it to
+// completion under the original durable id (already-evaluated points
+// settle from the store).
+func TestCrashRecoveryExplore(t *testing.T) {
+	dir := t.TempDir()
+	srv1, hs1, _ := newDurableServer(t, dir, 1)
+
+	var ev exploreView
+	postJSON(t, hs1.URL+"/v1/explore", exploreBody(), http.StatusAccepted, &ev)
+	if !strings.HasPrefix(ev.ID, "explore-") {
+		t.Fatalf("submit: %+v", ev)
+	}
+	id := ev.ID
+	srv1.Terminate()
+	hs1.Close()
+
+	srv2, hs2, _ := newDurableServer(t, dir, 2)
+	t.Cleanup(func() { hs2.Close(); srv2.Close() })
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		getJSON(t, hs2.URL+"/v1/explore/"+id, &ev)
+		if ev.Status != statusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered exploration did not finish: %+v", ev)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ev.Status != statusDone || len(ev.Frontier) == 0 {
+		t.Fatalf("recovered exploration: %+v", ev)
+	}
+}
+
+// TestLostRun pins the stuck-queued fix: polling an id the service
+// neither registered nor stored gets a terminal lost state, not a 404
+// loop — while garbage ids stay 404 and store-backed ids are served.
+func TestLostRun(t *testing.T) {
+	srv, hs := newTestServer(t, results.NewMemoryLRU(8))
+	_ = srv
+
+	unknownKey := strings.Repeat("ab", 32) // plausible 64-hex content key
+	var v runView
+	getJSON(t, hs.URL+"/v1/runs/"+unknownKey, &v)
+	if v.Status != statusLost || v.Error == "" {
+		t.Errorf("unknown key = %+v, want terminal lost with error", v)
+	}
+	if !v.Status.terminal() {
+		t.Error("lost is not terminal; clients would poll forever")
+	}
+
+	// A key present only in the store (registry never saw it) is served.
+	store := results.NewMemoryLRU(8)
+	srv2, hs2 := newTestServer(t, store)
+	_ = srv2
+	res := results.Result{Key: unknownKey, Config: "c", Program: "gcc"}
+	if err := store.Put(unknownKey, res); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, hs2.URL+"/v1/runs/"+unknownKey, &v)
+	if v.Status != statusDone || !v.Cached || v.Result == nil || v.Result.Key != unknownKey {
+		t.Errorf("store-backed key = %+v, want done+cached", v)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/harness"
+	"repro/internal/results"
 	"repro/internal/workload"
 )
 
@@ -114,6 +115,24 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The durable id is content-derived from the normalized request plus
+	// a per-submission nonce; explorations are deterministic given the
+	// request, so the manifest needs nothing else to be replayable.
+	raw, err := json.Marshal(er)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	manifest, err := results.NewExploreManifest(raw)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	id, err := manifest.ID()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -121,11 +140,7 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, submitStatus(errClosed), errClosed)
 		return
 	}
-	s.nextID++
-	st := &exploreState{
-		id:     fmt.Sprintf("explore-%06d", s.nextID),
-		status: statusRunning,
-	}
+	st := &exploreState{id: id, status: statusRunning}
 	st.view = exploreView{ID: st.id, Status: statusRunning, Strategy: strat.Name(), SpaceSize: space.Size()}
 	s.explores[st.id] = st
 	s.exploreOrder = append(s.exploreOrder, st.id)
@@ -134,6 +149,7 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 	s.exploreWG.Add(1)
 	s.mu.Unlock()
 	s.metrics.ExploresSubmitted.Add(1)
+	s.journalManifestOpen(id, manifest)
 
 	go s.driveExplore(st, space, strat, programs, er)
 	writeJSON(w, http.StatusAccepted, v)
@@ -198,7 +214,6 @@ func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strat
 		},
 	})
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if rep != nil {
 		snapshotReport(&st.view, rep, true)
 	}
@@ -211,18 +226,32 @@ func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strat
 	st.view.Status = st.status
 	// Now terminal: settle any eviction debt deferred while running.
 	s.evictExploresLocked()
+	v := st.view
+	s.mu.Unlock()
+	// A shutdown abort is not a terminal outcome: leaving the manifest
+	// open lets the next process replay the exploration instead of
+	// reporting a phantom failure forever.
+	if !errors.Is(err, errClosed) {
+		s.journalExploreDone(v)
+	}
 }
 
-// handleGetExplore reports exploration progress and the running frontier.
+// handleGetExplore reports exploration progress and the running
+// frontier. Ids the registry forgot re-attach from the manifest's
+// terminal snapshot (see exploreFallback).
 func (s *Server) handleGetExplore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	st, ok := s.explores[r.PathValue("id")]
+	st, ok := s.explores[id]
 	var v exploreView
 	if ok {
 		v = st.view
 	}
 	s.mu.Unlock()
 	if !ok {
+		if s.exploreFallback(w, id) {
+			return
+		}
 		httpError(w, http.StatusNotFound, errors.New("unknown exploration id"))
 		return
 	}
@@ -309,6 +338,7 @@ func (e *queueEvaluator) Evaluate(cfg core.Config) (dse.Objectives, dse.EvalStat
 			select {
 			case s.jobs <- key:
 				s.feederWG.Done()
+				s.journalEnqueue(key, results.NewRequest(req))
 			case <-s.quit:
 				s.feederWG.Done()
 				e.unpin(st)

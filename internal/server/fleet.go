@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/results"
@@ -58,9 +59,11 @@ func (s *Server) poisonRun(j results.Job, attempts int) {
 		s.finishLocked(st, res, false)
 		s.mu.Unlock()
 		s.metrics.RunsFailed.Add(1)
+		s.journalPoison(j.Key)
 		return
 	}
 	s.mu.Unlock()
+	s.journalPoison(j.Key)
 }
 
 // dispatch moves queued content keys into the coordinator's pending pool
@@ -77,6 +80,9 @@ func (s *Server) dispatch() {
 // dispatchOne resolves one queued key: answered from the store when
 // possible, otherwise enqueued for the worker pool (local and remote).
 func (s *Server) dispatchOne(key string) {
+	if s.killed.Load() {
+		return
+	}
 	s.mu.Lock()
 	st, ok := s.runs[key]
 	if !ok || st.status.terminal() {
@@ -93,6 +99,7 @@ func (s *Server) dispatchOne(key string) {
 		}
 		s.mu.Unlock()
 		s.metrics.CacheHits.Add(1)
+		s.journalComplete(key)
 		return
 	}
 	s.fleet.Enqueue(results.Job{Key: key, Request: results.NewRequest(req)})
@@ -108,20 +115,31 @@ func (s *Server) fleetWorker() {
 		if !ok {
 			return
 		}
+		if s.killed.Load() {
+			continue
+		}
 		s.runOne(j.Key)
 	}
 }
 
 // completeRemote lands one remotely-executed record: write-through to the
 // store (successes only, like runOne) and finish the registered run.
-func (s *Server) completeRemote(res results.Result) {
+// worker labels the completion-latency observation.
+func (s *Server) completeRemote(worker string, res results.Result) {
 	s.mu.Lock()
 	st, ok := s.runs[res.Key]
 	if !ok || st.status.terminal() {
 		s.mu.Unlock()
 		return
 	}
+	startedAt := st.startedAt
 	s.mu.Unlock()
+	if !startedAt.IsZero() {
+		// Lease grant to completion, as the coordinator saw it: includes
+		// the wire round trips, which is the number an operator watching
+		// a fleet needs.
+		s.workerLatency.observe(worker, time.Since(startedAt).Seconds())
+	}
 
 	if res.Failed() {
 		s.metrics.RunsFailed.Add(1)
@@ -134,6 +152,7 @@ func (s *Server) completeRemote(res results.Result) {
 		s.finishLocked(st, res, false)
 	}
 	s.mu.Unlock()
+	s.journalComplete(res.Key)
 }
 
 // handleFleetRegister admits one worker into the fleet.
@@ -173,13 +192,23 @@ func (s *Server) handleFleetLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Leased runs are in flight from the service's point of view.
+	now := time.Now()
+	var queueAges []float64
 	s.mu.Lock()
 	for _, j := range jobs {
 		if st, ok := s.runs[j.Key]; ok && !st.status.terminal() {
+			if st.status == statusQueued && !st.queuedAt.IsZero() {
+				queueAges = append(queueAges, now.Sub(st.queuedAt).Seconds())
+			}
 			st.status = statusRunning
+			st.startedAt = now
 		}
 	}
 	s.mu.Unlock()
+	for _, age := range queueAges {
+		s.histQueueAge.observe(age)
+	}
+	s.journalLease(lr.WorkerID, jobs)
 	writeJSON(w, http.StatusOK, fleet.LeaseResponse{
 		JobBatch:       batch,
 		LeaseTTLMillis: s.fleet.LeaseTTL().Milliseconds(),
@@ -203,7 +232,7 @@ func (s *Server) handleFleetComplete(w http.ResponseWriter, r *http.Request) {
 			resp.Rejected++
 			continue
 		}
-		s.completeRemote(res)
+		s.completeRemote(cr.WorkerID, res)
 		resp.Accepted++
 	}
 	writeJSON(w, http.StatusOK, resp)

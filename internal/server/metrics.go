@@ -2,10 +2,15 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/fleet"
+	"repro/internal/journal"
 )
 
 // Metrics counts what the service has done since start. All fields are
@@ -66,6 +71,10 @@ type Snapshot struct {
 	// Fleet is the coordinator's pool snapshot; all zeros outside fleet
 	// mode.
 	Fleet fleet.Stats `json:"fleet"`
+
+	// Journal is the durable control plane's activity; all zeros without
+	// a journal.
+	Journal journal.Stats `json:"journal"`
 }
 
 // CacheHitRatio is the fraction of answered run submissions served from
@@ -92,7 +101,7 @@ func (s Snapshot) ExploreCacheHitRatio() float64 {
 }
 
 // Snapshot captures the current counter values.
-func (m *Metrics) snapshot(queueLen, workers int, fs fleet.Stats) Snapshot {
+func (m *Metrics) snapshot(queueLen, workers int, fs fleet.Stats, js journal.Stats) Snapshot {
 	return Snapshot{
 		RunsSubmitted:   m.RunsSubmitted.Load(),
 		RunsStarted:     m.RunsStarted.Load(),
@@ -110,8 +119,102 @@ func (m *Metrics) snapshot(queueLen, workers int, fs fleet.Stats) Snapshot {
 		ExploreSims:       m.ExploreSims.Load(),
 		ExploreCacheHits:  m.ExploreCacheHits.Load(),
 
-		Fleet: fs,
+		Fleet:   fs,
+		Journal: js,
 	}
+}
+
+// latencyBuckets are the shared fixed histogram bounds (seconds) for
+// queue age and worker completion latency: sub-5ms cache settles
+// through multi-minute full-budget simulations.
+var latencyBuckets = []float64{
+	0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// histogram is a fixed-bucket, lock-free cumulative histogram in
+// Prometheus's exposition shape. Observations are atomic adds, so it
+// sits on the worker hot path without contention; the sum is tracked in
+// microseconds to stay integral.
+type histogram struct {
+	buckets   []float64
+	counts    []atomic.Uint64 // len(buckets)+1; last is +Inf
+	sumMicros atomic.Uint64
+	total     atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// observe records one value in seconds.
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(h.buckets, seconds)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	if micros := seconds * 1e6; micros > 0 && !math.IsInf(micros, 1) {
+		h.sumMicros.Add(uint64(micros))
+	}
+}
+
+// write renders the series in text exposition format. labels ("" or
+// `worker="w3"`) is spliced into every sample; the caller writes the
+// HELP/TYPE header once per family.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, le := range h.buckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.total.Load())
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumMicros.Load())/1e6)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total.Load())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumMicros.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}
+
+// labeledHistograms keys histograms by one label value (the worker id).
+// The map mutex guards only lookup/insert; observations on the found
+// histogram stay atomic.
+type labeledHistograms struct {
+	buckets []float64
+	mu      sync.Mutex
+	m       map[string]*histogram
+}
+
+func newLabeledHistograms(buckets []float64) *labeledHistograms {
+	return &labeledHistograms{buckets: buckets, m: make(map[string]*histogram)}
+}
+
+func (l *labeledHistograms) observe(label string, seconds float64) {
+	l.mu.Lock()
+	h, ok := l.m[label]
+	if !ok {
+		h = newHistogram(l.buckets)
+		l.m[label] = h
+	}
+	l.mu.Unlock()
+	h.observe(seconds)
+}
+
+// snapshot lists the label values in sorted order with their histograms.
+func (l *labeledHistograms) snapshot() ([]string, map[string]*histogram) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	labels := make([]string, 0, len(l.m))
+	out := make(map[string]*histogram, len(l.m))
+	for k, v := range l.m {
+		labels = append(labels, k)
+		out[k] = v
+	}
+	sort.Strings(labels)
+	return labels, out
 }
 
 // handleMetrics renders the counters in Prometheus text exposition
@@ -145,6 +248,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ringsimd_fleet_remote_runs_total", "Run records accepted from remote workers.", "counter", snap.Fleet.RemoteCompleted},
 		{"ringsimd_fleet_poisoned_total", "Jobs parked in the poisoned lot after burning their attempt cap.", "counter", snap.Fleet.PoisonedTotal},
 		{"ringsimd_fleet_poisoned_parked", "Jobs currently parked in the poisoned lot.", "gauge", uint64(snap.Fleet.PoisonedParked)},
+		{"ringsimd_journal_entries_total", "Control-plane journal records appended.", "counter", snap.Journal.Entries},
+		{"ringsimd_journal_checkpoints_total", "Journal checkpoint compactions written.", "counter", snap.Journal.Checkpoints},
+		{"ringsimd_journal_replayed_total", "Journal records replayed during startup recovery.", "counter", snap.Journal.Replayed},
+		{"ringsimd_journal_torn_total", "Truncated trailing journal records discarded at recovery.", "counter", snap.Journal.Torn},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.val)
@@ -158,5 +265,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, r := range ratios {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", r.name, r.help, r.name, r.name, r.val)
+	}
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		"ringsimd_queue_age_seconds", "Time jobs spent queued before a worker began them.", "ringsimd_queue_age_seconds")
+	s.histQueueAge.write(w, "ringsimd_queue_age_seconds", "")
+	labels, hists := s.workerLatency.snapshot()
+	if len(labels) > 0 {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			"ringsimd_worker_complete_seconds", "Per-worker simulation completion latency (start or lease grant to completion).", "ringsimd_worker_complete_seconds")
+		for _, label := range labels {
+			hists[label].write(w, "ringsimd_worker_complete_seconds", fmt.Sprintf("worker=%q", label))
+		}
 	}
 }

@@ -40,9 +40,12 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/results"
 	"repro/internal/workload"
 )
@@ -80,6 +83,14 @@ type Options struct {
 	// MaxExplores bounds the exploration registry, evicting oldest
 	// first. Default: 256.
 	MaxExplores int
+	// Journal, when non-nil, makes the control plane crash-safe: every
+	// pending-pool mutation is journaled, sweeps and explorations
+	// persist durable manifests under their client-visible ids, and New
+	// replays the journal — settling jobs whose results are in the
+	// Store, re-queueing the rest, and re-registering open submissions
+	// under their original ids (see durable.go). The Server does not
+	// close the journal; its owner does, after Close.
+	Journal *journal.Journal
 }
 
 // runStatus is the lifecycle of one submitted run.
@@ -90,10 +101,17 @@ const (
 	statusRunning runStatus = "running"
 	statusDone    runStatus = "done"
 	statusFailed  runStatus = "failed"
+	// statusLost marks work this coordinator no longer knows how to
+	// finish: the id is not registered and the store holds no result
+	// (pre-journal restart, registry eviction beyond the store's reach).
+	// Terminal, so clients stop polling and resubmit instead.
+	statusLost runStatus = "lost"
 )
 
 // terminal reports whether the status is final.
-func (s runStatus) terminal() bool { return s == statusDone || s == statusFailed }
+func (s runStatus) terminal() bool {
+	return s == statusDone || s == statusFailed || s == statusLost
+}
 
 // runState tracks one unique run (content key) through the queue.
 type runState struct {
@@ -110,6 +128,10 @@ type runState struct {
 	// waiters are closed when the run turns terminal; explorations block
 	// on them instead of polling.
 	waiters []chan struct{}
+	// queuedAt and startedAt feed the queue-age and worker-latency
+	// histograms.
+	queuedAt  time.Time
+	startedAt time.Time
 }
 
 // sweepState tracks one sweep submission. Until every member is
@@ -143,12 +165,17 @@ type Server struct {
 	terminalKeys []string // eviction order for terminal runs
 	sweepOrder   []string // eviction order for sweeps
 	exploreOrder []string // eviction order for explorations
-	nextID       int
 
-	metrics   Metrics
-	wg        sync.WaitGroup // workers
-	feederWG  sync.WaitGroup // sweep feeders and explore enqueuers
-	exploreWG sync.WaitGroup // exploration drivers
+	// killed marks a Terminate in progress: workers drain without
+	// executing and journal hooks go quiet, like a real crash.
+	killed atomic.Bool
+
+	metrics       Metrics
+	histQueueAge  *histogram
+	workerLatency *labeledHistograms
+	wg            sync.WaitGroup // workers
+	feederWG      sync.WaitGroup // sweep feeders and explore enqueuers
+	exploreWG     sync.WaitGroup // exploration drivers
 
 	// fleet is the remote-worker coordinator; nil outside fleet mode.
 	fleet      *fleet.Coordinator
@@ -179,12 +206,14 @@ func New(opts Options) (*Server, error) {
 		opts.MaxExplores = 256
 	}
 	s := &Server{
-		opts:     opts,
-		jobs:     make(chan string, opts.QueueDepth),
-		quit:     make(chan struct{}),
-		runs:     make(map[string]*runState),
-		sweeps:   make(map[string]*sweepState),
-		explores: make(map[string]*exploreState),
+		opts:          opts,
+		jobs:          make(chan string, opts.QueueDepth),
+		quit:          make(chan struct{}),
+		runs:          make(map[string]*runState),
+		sweeps:        make(map[string]*sweepState),
+		explores:      make(map[string]*exploreState),
+		histQueueAge:  newHistogram(latencyBuckets),
+		workerLatency: newLabeledHistograms(latencyBuckets),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
@@ -227,6 +256,9 @@ func New(opts Options) (*Server, error) {
 			go s.worker()
 		}
 	}
+	if opts.Journal != nil {
+		s.recoverFromJournal()
+	}
 	return s, nil
 }
 
@@ -239,7 +271,11 @@ func (s *Server) Metrics() Snapshot {
 	if s.fleet != nil {
 		fs = s.fleet.Stats()
 	}
-	return s.metrics.snapshot(len(s.jobs), s.opts.Workers, fs)
+	var js journal.Stats
+	if s.opts.Journal != nil {
+		js = s.opts.Journal.Stats()
+	}
+	return s.metrics.snapshot(len(s.jobs), s.opts.Workers, fs, js)
 }
 
 // Close stops accepting submissions, stops sweep feeders, drains the
@@ -272,10 +308,16 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// worker consumes content keys from the queue and simulates them.
+// worker consumes content keys from the queue and simulates them. After
+// Terminate it keeps draining so the channel close can proceed, but
+// executes nothing — the abandoned keys are the crash's debris, which
+// journal replay re-queues in the next process.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for key := range s.jobs {
+		if s.killed.Load() {
+			continue
+		}
 		s.runOne(key)
 	}
 }
@@ -302,14 +344,22 @@ func (s *Server) runOne(key string) {
 		s.finishLocked(st, res, true)
 		s.mu.Unlock()
 		s.metrics.CacheHits.Add(1)
+		s.journalComplete(key)
 		return
 	}
 
 	s.mu.Lock()
 	st.status = statusRunning
+	st.startedAt = time.Now()
+	queuedAt := st.queuedAt
 	s.mu.Unlock()
+	if !queuedAt.IsZero() {
+		s.histQueueAge.observe(time.Since(queuedAt).Seconds())
+	}
 	s.metrics.RunsStarted.Add(1)
+	began := time.Now()
 	run := harness.Execute(req)
+	s.workerLatency.observe(localWorkerLabel, time.Since(began).Seconds())
 	res, convErr := results.FromRun(req, run)
 	if convErr != nil {
 		res = results.Result{Key: key, Config: req.Config.Name, Program: req.Workload.Name(), Err: convErr.Error()}
@@ -329,6 +379,7 @@ func (s *Server) runOne(key string) {
 	s.mu.Lock()
 	s.finishLocked(st, res, false)
 	s.mu.Unlock()
+	s.journalComplete(key)
 }
 
 // finishLocked marks a run terminal and schedules it for eviction.
@@ -408,7 +459,7 @@ func (s *Server) registerLocked(req harness.Request, key string) (st *runState, 
 		s.metrics.Deduped.Add(1)
 		return st, false, false
 	}
-	st = &runState{key: key, req: req, status: statusQueued}
+	st = &runState{key: key, req: req, status: statusQueued, queuedAt: time.Now()}
 	s.runs[key] = st
 	return st, true, false
 }
@@ -432,8 +483,8 @@ func (s *Server) submit(req harness.Request) (*runState, bool, error) {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false, errClosed
 	}
 	st, fresh, hit := s.registerLocked(req, key)
@@ -443,8 +494,13 @@ func (s *Server) submit(req harness.Request) (*runState, bool, error) {
 		default:
 			delete(s.runs, key)
 			s.metrics.QueueRejected.Add(1)
+			s.mu.Unlock()
 			return nil, false, errQueueFull
 		}
+	}
+	s.mu.Unlock()
+	if fresh {
+		s.journalEnqueue(key, results.NewRequest(req))
 	}
 	return st, hit, nil
 }
@@ -494,6 +550,9 @@ type runView struct {
 	Status runStatus       `json:"status"`
 	Cached bool            `json:"cached"`
 	Result *results.Result `json:"result,omitempty"`
+	// Error explains terminal non-success states the Result cannot
+	// (today: lost runs, which have no result at all).
+	Error string `json:"error,omitempty"`
 }
 
 // viewRun renders a run state. Callers must hold s.mu.
@@ -519,11 +578,14 @@ type sweepRequest struct {
 
 // sweepView is the GET /v1/sweeps/{id} response body.
 type sweepView struct {
-	ID        string           `json:"id"`
-	Status    runStatus        `json:"status"`
-	Total     int              `json:"total"`
-	Done      int              `json:"done"`
-	Failed    int              `json:"failed"`
+	ID     string    `json:"id"`
+	Status runStatus `json:"status"`
+	Total  int       `json:"total"`
+	Done   int       `json:"done"`
+	Failed int       `json:"failed"`
+	// Lost counts members this coordinator can neither finish nor
+	// answer (see statusLost); only re-attached views can have them.
+	Lost      int              `json:"lost,omitempty"`
 	CacheHits int              `json:"cache_hits"`
 	Runs      []runView        `json:"runs"`
 	Results   []results.Result `json:"results,omitempty"`
@@ -593,15 +655,22 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleGetRun reports one run's status and, when finished, its result.
+// Ids the registry forgot fall back to the store (served done, cached)
+// or the terminal lost state; only ids that are not content keys at all
+// stay 404.
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	st, ok := s.runs[r.PathValue("id")]
+	st, ok := s.runs[id]
 	var v runView
 	if ok {
 		v = viewRun(st)
 	}
 	s.mu.Unlock()
 	if !ok {
+		if s.runFallback(w, id) {
+			return
+		}
 		httpError(w, http.StatusNotFound, errors.New("unknown run id"))
 		return
 	}
@@ -632,11 +701,26 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	keys := make([]string, len(reqs))
+	jobs := make([]results.Job, len(reqs))
 	for i, req := range reqs {
 		if keys[i], err = prepare(req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("%s/%s: %w", req.Config.Name, req.Workload.Name(), err))
 			return
 		}
+		jobs[i] = results.Job{Key: keys[i], Request: results.NewRequest(req)}
+	}
+	// The sweep's durable id is content-derived from its member list
+	// plus a per-submission nonce: stable across coordinator restarts
+	// (re-attachable), distinct across resubmissions of the same grid.
+	manifest, err := results.NewSweepManifest(jobs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	id, err := manifest.ID()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
 	}
 
 	s.mu.Lock()
@@ -645,7 +729,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, submitStatus(errClosed), errClosed)
 		return
 	}
-	sw := &sweepState{preCached: make(map[string]bool)}
+	sw := &sweepState{id: id, keys: keys, preCached: make(map[string]bool)}
 	var pending []string // fresh members, fed to the queue in order
 	for i, req := range reqs {
 		st, fresh, hit := s.registerLocked(req, keys[i])
@@ -663,31 +747,55 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		s.feederWG.Add(1)
 		go s.feed(pending)
 	}
-	s.nextID++
-	sw.id = fmt.Sprintf("sweep-%06d", s.nextID)
-	sw.keys = keys
 	s.sweeps[sw.id] = sw
 	s.sweepOrder = append(s.sweepOrder, sw.id)
 	s.evictSweepsLocked()
 	v := s.viewSweepLocked(sw)
+	materialized := sw.done
 	s.mu.Unlock()
 	s.metrics.SweepsSubmitted.Add(1)
+	s.journalManifestOpen(id, manifest)
+	if fresh := len(pending); fresh > 0 {
+		byKey := make(map[string]results.Job, len(jobs))
+		for _, j := range jobs {
+			byKey[j.Key] = j
+		}
+		for _, key := range pending {
+			s.journalEnqueue(key, byKey[key].Request)
+		}
+	}
+	if materialized {
+		// Every member was already terminal (all cache hits): the sweep
+		// finished at submission.
+		s.journalSweepDone(v)
+	}
 	writeJSON(w, http.StatusAccepted, v)
 }
 
 // handleGetSweep reports sweep progress and, when every member is
-// terminal, the full result set in grid order.
+// terminal, the full result set in grid order. Ids the registry forgot
+// re-attach from their durable manifest (see sweepFallback).
 func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	sw, ok := s.sweeps[r.PathValue("id")]
+	sw, ok := s.sweeps[id]
 	var v sweepView
+	var materialized bool
 	if ok {
+		wasDone := sw.done
 		v = s.viewSweepLocked(sw)
+		materialized = sw.done && !wasDone
 	}
 	s.mu.Unlock()
 	if !ok {
+		if s.sweepFallback(w, id) {
+			return
+		}
 		httpError(w, http.StatusNotFound, errors.New("unknown sweep id"))
 		return
+	}
+	if materialized {
+		s.journalSweepDone(v)
 	}
 	writeJSON(w, http.StatusOK, v)
 }

@@ -438,7 +438,8 @@ func TestSweepValidationIsAtomic(t *testing.T) {
 }
 
 // TestRegistryEviction bounds the run and sweep registries: evicted run
-// ids 404 but their resubmission is a pure store hit, and the oldest
+// ids are answered straight from the content-addressed store (done,
+// cached) and their resubmission is a pure store hit, while the oldest
 // sweep is dropped beyond MaxSweeps.
 func TestRegistryEviction(t *testing.T) {
 	srv, err := New(Options{
@@ -478,16 +479,14 @@ func TestRegistryEviction(t *testing.T) {
 	if live > 2 {
 		t.Errorf("run registry holds %d entries, want ≤ MaxRuns=2", live)
 	}
-	// The first run was evicted from the registry…
-	resp, err := http.Get(hs.URL + "/v1/runs/" + ids[0])
-	if err != nil {
-		t.Fatal(err)
+	// The first run was evicted from the registry, but its GET falls
+	// back to the store: done, cached, result intact.
+	var ev runView
+	getJSON(t, hs.URL+"/v1/runs/"+ids[0], &ev)
+	if ev.Status != statusDone || !ev.Cached || ev.Result == nil {
+		t.Errorf("evicted run GET = %+v, want done+cached with result", ev)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("evicted run GET = %d, want 404", resp.StatusCode)
-	}
-	// …but resubmitting it is answered from the store without simulating.
+	// Resubmitting it is likewise answered without simulating.
 	started := srv.Metrics().RunsStarted
 	body := map[string]any{
 		"paper":   map[string]any{"arch": "ring", "clusters": 4, "iw": 2, "buses": 1},
@@ -515,7 +514,7 @@ func TestRegistryEviction(t *testing.T) {
 	postJSON(t, hs.URL+"/v1/sweeps", sweepBody(), http.StatusAccepted, &s1)
 	pollSweep(t, hs.URL, s1.ID)
 	postJSON(t, hs.URL+"/v1/sweeps", sweepBody(), http.StatusAccepted, &s2)
-	resp, err = http.Get(hs.URL + "/v1/sweeps/" + s1.ID)
+	resp, err := http.Get(hs.URL + "/v1/sweeps/" + s1.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

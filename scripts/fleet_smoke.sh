@@ -5,6 +5,12 @@
 # executed the first pass remotely and (2) the second pass was answered
 # entirely from the content-addressed cache.
 #
+# A third pass proves crash safety: a fresh sweep is submitted, the
+# coordinator is kill -9'd mid-sweep, restarted over the same cache +
+# journal directories, and `ringsim attach` re-attaches by the durable
+# sweep id and drives it to completion — with the journal replay counter
+# up and the coordinator still having simulated nothing locally.
+#
 #   scripts/fleet_smoke.sh [INSTS] [WARMUP]
 #
 # Exits non-zero on any assertion failure. Used by the CI fleet-smoke job.
@@ -28,13 +34,14 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "fleet-smoke: building binaries"
-go build -o "$TMP/bin/" ./cmd/ringsimd ./cmd/ringsim-worker
+go build -o "$TMP/bin/" ./cmd/ringsimd ./cmd/ringsim-worker ./cmd/ringsim
 go build -o "$TMP/bin/client" ./examples/client
 
 echo "fleet-smoke: starting coordinator on $ADDR (dispatch-only)"
 "$TMP/bin/ringsimd" -addr "$ADDR" -fleet -workers -1 -lease-ttl 10s \
     -cache-dir "$TMP/cache" >"$TMP/coordinator.log" 2>&1 &
-PIDS="$PIDS $!"
+COORD_PID=$!
+PIDS="$PIDS $COORD_PID"
 
 # Wait for the coordinator to listen, then attach the workers.
 for _ in $(seq 1 50); do
@@ -88,5 +95,66 @@ tail -n 8 "$TMP/pass1.log" >"$TMP/tbl1"
 tail -n 8 "$TMP/pass2.log" >"$TMP/tbl2"
 cmp -s "$TMP/tbl1" "$TMP/tbl2" \
     || { echo "fleet-smoke: FAIL: cached pass printed a different Figure 6 table"; diff "$TMP/tbl1" "$TMP/tbl2" || true; exit 1; }
+
+# ---- Pass 3: kill -9 the coordinator mid-sweep, restart, re-attach ----
+# Distinct instruction count → every member is cold; the sweep cannot be
+# answered from the pass-1/2 cache.
+INSTS3=$((INSTS + 1111))
+echo "fleet-smoke: third pass (crash + restart, insts=$INSTS3)"
+remote_before="$(metric ringsimd_fleet_remote_runs_total)"
+"$TMP/bin/client" -addr "$BASE" -insts "$INSTS3" -warmup "$WARMUP" \
+    >"$TMP/pass3.log" 2>&1 || true &
+CLIENT3_PID=$!
+
+# Grab the durable sweep id the client was handed.
+SWEEP_ID=""
+for _ in $(seq 1 100); do
+    SWEEP_ID="$(sed -n 's/^submitted \(sweep-[0-9a-f]*\).*/\1/p' "$TMP/pass3.log" | head -1)"
+    [ -n "$SWEEP_ID" ] && break
+    sleep 0.1
+done
+[ -n "$SWEEP_ID" ] || { echo "fleet-smoke: FAIL: third pass never got a sweep id"; cat "$TMP/pass3.log"; exit 1; }
+
+# Wait until the fleet has genuinely executed part of the sweep, then
+# pull the plug — no graceful drain, no cleanup.
+for _ in $(seq 1 300); do
+    m="$(curl -sf "$BASE/metrics")" || break
+    done3="$(printf '%s\n' "$m" | awk -v n=ringsimd_fleet_remote_runs_total '$1 == n {print $2}')"
+    [ "${done3:-0}" -ge "$((remote_before + 20))" ] && break
+    sleep 0.1
+done
+echo "fleet-smoke: kill -9 coordinator (pid $COORD_PID) with $((${done3:-0} - remote_before)) of 260 members done"
+kill -9 "$COORD_PID"
+wait "$CLIENT3_PID" 2>/dev/null || true
+
+echo "fleet-smoke: restarting coordinator over the same cache + journal"
+"$TMP/bin/ringsimd" -addr "$ADDR" -fleet -workers -1 -lease-ttl 10s \
+    -cache-dir "$TMP/cache" >"$TMP/coordinator2.log" 2>&1 &
+PIDS="$PIDS $!"
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+# The workers notice the lost registration and transparently re-attach.
+workers=0
+for _ in $(seq 1 100); do
+    workers="$(curl -sf "$BASE/v1/fleet" | sed -n 's/.*"workers": \([0-9][0-9]*\).*/\1/p' | head -1)"
+    [ "${workers:-0}" -ge 2 ] && break
+    sleep 0.2
+done
+[ "${workers:-0}" -ge 2 ] || { echo "fleet-smoke: FAIL: workers never re-registered after restart"; exit 1; }
+
+echo "fleet-smoke: re-attaching to $SWEEP_ID"
+"$TMP/bin/ringsim" attach -addr "$BASE" "$SWEEP_ID" >"$TMP/attach.log" 2>&1 \
+    || { echo "fleet-smoke: FAIL: re-attached sweep did not finish"; cat "$TMP/attach.log"; exit 1; }
+grep -q "260/260 done" "$TMP/attach.log" \
+    || { echo "fleet-smoke: FAIL: re-attached sweep incomplete"; cat "$TMP/attach.log"; exit 1; }
+
+metrics="$(curl -sf "$BASE/metrics")"
+replayed="$(metric ringsimd_journal_replayed_total)"
+started="$(metric ringsimd_runs_started_total)"
+echo "fleet-smoke: journal_replayed=$replayed local_started=$started after restart"
+[ "${replayed:-0}" -ge 1 ] || { echo "fleet-smoke: FAIL: restart replayed nothing from the journal"; exit 1; }
+[ "${started:-0}" -eq 0 ] || { echo "fleet-smoke: FAIL: recovered coordinator simulated locally"; exit 1; }
 
 echo "fleet-smoke: PASS"
