@@ -39,6 +39,11 @@ func BenchmarkSweepFleet2Workers(b *testing.B) { bench.SweepFleet2Workers(b) }
 func BenchmarkMultiProgram2(b *testing.B) { bench.MultiProgram2(b) }
 func BenchmarkMultiProgram4(b *testing.B) { bench.MultiProgram4(b) }
 
+// --- synthetic workload benchmarks ---
+
+func BenchmarkSynthSweep(b *testing.B)       { bench.SynthSweep(b) }
+func BenchmarkMixFairnessStudy(b *testing.B) { bench.MixFairnessStudy(b) }
+
 // --- component micro-benchmarks ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) { bench.SimulatorThroughput(b) }

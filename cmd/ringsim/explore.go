@@ -66,17 +66,19 @@ func exploreMain(args []string) {
 	case "fp":
 		names = workload.SuiteNames(workload.ClassFP)
 	default:
-		// Validate up front: a bad program name should fail before the
-		// first simulation, not midway through a half-evaluated space.
-		for _, n := range strings.Split(*progs, ",") {
-			n = strings.TrimSpace(n)
-			if n == "" {
-				continue
-			}
-			if _, err := workload.ByName(n); err != nil {
+		// Validate up front: a bad spec should fail before the first
+		// simulation, not midway through a half-evaluated space. Full
+		// ParseSpec validation admits multi-stream and synthetic specs;
+		// SplitList keeps commas inside synth parameter lists intact.
+		for _, n := range workload.SplitList(*progs) {
+			spec, err := workload.ParseSpec(n)
+			if err != nil {
 				fatalf("%v", err)
 			}
-			names = append(names, n)
+			if err := spec.Validate(); err != nil {
+				fatalf("%v", err)
+			}
+			names = append(names, spec.Name())
 		}
 		if len(names) == 0 {
 			fatalf("no programs named in -progs %q", *progs)

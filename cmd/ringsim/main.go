@@ -18,6 +18,9 @@
 //
 //	ringsim attach [-addr URL] [-interval D] [-json] <id>
 //
+//	ringsim mixstudy [-mixes N] [-streams 2,4] [-family synth-random]
+//	        [-seed N] [-insts N] [-warmup N] [-cache-dir DIR] [-json]
+//
 // With -json, output is the internal/results encoding: one JSON array of
 // result records, each carrying the same content-hash key ringsimd uses,
 // so CLI runs and service cache entries are directly comparable.
@@ -30,6 +33,13 @@
 // work by its durable id (sweep-…, explore-…, or a 64-hex run key) and
 // polls it to completion — the ids survive coordinator crashes when the
 // daemon runs with a journal (-journal-dir).
+//
+// The mixstudy subcommand runs the multi-programmed fairness study:
+// sampled synthetic mixes at each stream count, ring vs conventional,
+// STP/ANTT/fairness against store-served single-stream baselines.
+//
+// Workload specs may be synthetic ("synth(ilp=8,ws=4M)",
+// "synth-random@3"); see docs/workloads.md for the grammar.
 package main
 
 import (
@@ -52,6 +62,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "attach" {
 		attachMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "mixstudy" {
+		mixstudyMain(os.Args[2:])
 		return
 	}
 	arch := flag.String("arch", "ring", "architecture: ring or conv")
@@ -93,8 +107,9 @@ func main() {
 	var names []string
 	if *programs != "" {
 		// One multi-programmed workload: the named programs as concurrent
-		// streams on a single machine.
-		mix := workload.Mix(strings.Split(*programs, ",")...)
+		// streams on a single machine. SplitList keeps commas inside synth
+		// parameter lists intact.
+		mix := workload.Mix(workload.SplitList(*programs)...)
 		names = []string{mix.Name()}
 	} else {
 		switch strings.ToLower(*progs) {
@@ -105,7 +120,7 @@ func main() {
 		case "fp":
 			names = workload.SuiteNames(workload.ClassFP)
 		default:
-			names = strings.Split(*progs, ",")
+			names = workload.SplitList(*progs)
 		}
 		// Canonicalize each spec string: Grid keys results by the parsed
 		// spec's Name(), so a non-canonical spelling (e.g. "gcc:0") must

@@ -1,11 +1,17 @@
 // Command tracegen generates synthetic SPEC2000-like traces, writes them in
 // the binary trace format, and inspects existing trace files.
 //
+// -prog takes a full workload spec string: a profile name ("swim"), a
+// seeded stream ("gcc@7"), or a synthetic spec ("synth(ilp=8,ws=4M)",
+// "synth-random@3" — see docs/workloads.md for the grammar). An explicit
+// ":insts" budget in the spec overrides -n.
+//
 // Usage:
 //
-//	tracegen -prog swim -n 100000 -o swim.trc    # generate and save
-//	tracegen -inspect swim.trc                   # validate and summarize
-//	tracegen -prog swim -n 20 -dump              # print instructions
+//	tracegen -prog swim -n 100000 -o swim.trc     # generate and save
+//	tracegen -prog 'synth(ilp=8,ws=4M)@2' -n 50000 -o ilp8.trc
+//	tracegen -inspect swim.trc                    # validate and summarize
+//	tracegen -prog swim -n 20 -dump               # print instructions
 package main
 
 import (
@@ -17,14 +23,17 @@ import (
 	"repro/internal/isa"
 	"repro/internal/trace"
 	"repro/internal/workload"
+
+	// Resolve synthetic workload specs in -prog.
+	_ "repro/internal/synth"
 )
 
 func main() {
-	prog := flag.String("prog", "", "workload profile name (see -list)")
-	n := flag.Uint64("n", 100_000, "number of instructions")
+	prog := flag.String("prog", "", "workload spec: profile name, prog[:insts][@seed], or a synth spec (see -list)")
+	n := flag.Uint64("n", 100_000, "number of instructions (overridden by an explicit :insts in -prog)")
 	out := flag.String("o", "", "output trace file")
 	dump := flag.Bool("dump", false, "print instructions to stdout")
-	inspect := flag.String("inspect", "", "validate and summarize a trace file")
+	inspect := flag.String("inspect", "", "validate and summarize a trace file (measured mix, branch and working-set stats)")
 	list := flag.Bool("list", false, "list workload profiles")
 	flag.Parse()
 
@@ -32,6 +41,7 @@ func main() {
 	case *list:
 		fmt.Println("INT:", workload.SuiteNames(workload.ClassInt))
 		fmt.Println("FP: ", workload.SuiteNames(workload.ClassFP))
+		fmt.Println("synthetic: synth(k=v,...) parameterized specs and distribution families (see docs/workloads.md)")
 	case *inspect != "":
 		if err := inspectTrace(*inspect); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
@@ -49,11 +59,21 @@ func main() {
 }
 
 func generate(prog string, n uint64, out string, dump bool) error {
-	p, err := workload.ByName(prog)
+	spec, err := workload.ParseSpec(prog)
 	if err != nil {
 		return err
 	}
-	gen, err := workload.NewGenerator(p)
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(spec.Streams) != 1 {
+		return fmt.Errorf("tracegen generates one stream at a time; %q names %d (the simulator mixes streams at run time)", prog, len(spec.Streams))
+	}
+	st := spec.Streams[0]
+	if st.Insts != 0 {
+		n = st.Insts
+	}
+	gen, err := workload.NewStream(st.Program, st.Seed)
 	if err != nil {
 		return err
 	}
@@ -70,8 +90,7 @@ func generate(prog string, n uint64, out string, dump bool) error {
 			return err
 		}
 	}
-	var counts [isa.NumClasses]uint64
-	var total uint64
+	var sum summary
 	for {
 		in, err := stream.Next()
 		if errors.Is(err, trace.ErrEnd) {
@@ -80,8 +99,7 @@ func generate(prog string, n uint64, out string, dump bool) error {
 		if err != nil {
 			return err
 		}
-		counts[in.Class]++
-		total++
+		sum.observe(&in)
 		if dump {
 			fmt.Println(in.String())
 		}
@@ -95,16 +113,101 @@ func generate(prog string, n uint64, out string, dump bool) error {
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", total, out)
+		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", sum.total, out)
 	}
-	fmt.Fprintf(os.Stderr, "mix:")
-	for c := isa.Class(0); c < isa.NumClasses; c++ {
-		if counts[c] > 0 {
-			fmt.Fprintf(os.Stderr, " %s=%.1f%%", c, 100*float64(counts[c])/float64(total))
+	sum.print(os.Stderr, spec.Name())
+	return nil
+}
+
+// summary accumulates the measured character of a stream: instruction
+// mix, branch behaviour, and memory working set. It is how generated
+// traces are validated against the parameters that requested them.
+type summary struct {
+	total  uint64
+	counts [isa.NumClasses]uint64
+
+	branches, taken uint64
+
+	addrs map[uint64]struct{} // distinct 64-byte lines touched
+	loAdd uint64
+	hiAdd uint64
+}
+
+func (s *summary) observe(in *isa.Inst) {
+	s.total++
+	s.counts[in.Class]++
+	if in.Class == isa.Branch {
+		s.branches++
+		if in.Taken {
+			s.taken++
 		}
 	}
-	fmt.Fprintln(os.Stderr)
-	return nil
+	if in.Class == isa.Load || in.Class == isa.Store {
+		line := in.EffAddr >> 6
+		if s.addrs == nil {
+			s.addrs = make(map[uint64]struct{})
+			s.loAdd, s.hiAdd = in.EffAddr, in.EffAddr
+		}
+		s.addrs[line] = struct{}{}
+		if in.EffAddr < s.loAdd {
+			s.loAdd = in.EffAddr
+		}
+		if in.EffAddr > s.hiAdd {
+			s.hiAdd = in.EffAddr
+		}
+	}
+}
+
+func (s *summary) print(w *os.File, name string) {
+	if s.total == 0 {
+		fmt.Fprintf(w, "%s: empty trace\n", name)
+		return
+	}
+	fmt.Fprintf(w, "%s: %d instructions\n", name, s.total)
+	fmt.Fprintf(w, "mix:")
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if s.counts[c] > 0 {
+			fmt.Fprintf(w, " %s=%.1f%%", c, 100*float64(s.counts[c])/float64(s.total))
+		}
+	}
+	fmt.Fprintln(w)
+	if s.branches > 0 {
+		fmt.Fprintf(w, "branches: %.1f%% of stream, %.1f%% taken\n",
+			100*float64(s.branches)/float64(s.total), 100*float64(s.taken)/float64(s.branches))
+	}
+	if len(s.addrs) > 0 {
+		fmt.Fprintf(w, "working set: %d distinct 64B lines (%s touched), address span %s\n",
+			len(s.addrs), fmtBytes(uint64(len(s.addrs))*64), fmtBytes(s.hiAdd-s.loAdd+1))
+	}
+}
+
+// fmtBytes renders a byte count with a binary suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// teeStream forwards a stream while feeding each instruction to the
+// summary.
+type teeStream struct {
+	s   trace.Stream
+	sum *summary
+}
+
+func (t teeStream) Next() (isa.Inst, error) {
+	in, err := t.s.Next()
+	if err == nil {
+		t.sum.observe(&in)
+	}
+	return in, err
 }
 
 func inspectTrace(path string) error {
@@ -117,10 +220,14 @@ func inspectTrace(path string) error {
 	if err != nil {
 		return err
 	}
-	n, err := trace.Validate(r)
+	// Validate structure and measure character in one pass: the tee
+	// observes each instruction as Validate streams it.
+	var sum summary
+	n, err := trace.Validate(teeStream{s: r, sum: &sum})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d valid instructions\n", path, n)
+	sum.print(os.Stdout, path)
 	return nil
 }

@@ -41,6 +41,8 @@ func Specs() []Spec {
 		{Name: "SweepFleet2Workers", Fn: SweepFleet2Workers},
 		{Name: "MultiProgram2", Fn: MultiProgram2, Headline: true},
 		{Name: "MultiProgram4", Fn: MultiProgram4},
+		{Name: "SynthSweep", Fn: SynthSweep},
+		{Name: "MixFairnessStudy", Fn: MixFairnessStudy},
 		{Name: "WorkloadGenerator", Fn: WorkloadGenerator},
 		{Name: "BusReservation", Fn: BusReservation},
 		{Name: "Predictor", Fn: Predictor},

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/workload"
+)
+
+// SynthSweep measures a scenario sweep built from synthetic spec strings:
+// a working-set / ILP axis over the headline ring machine, through the
+// same Grid path real sweeps use (shared trace cache, pooled machines).
+// Reports the IPC spread across the axis plus simulation throughput.
+func SynthSweep(b *testing.B) {
+	cfg := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
+	specs := []string{
+		"synth(ws=64K)",
+		"synth",
+		"synth(ws=16M)",
+		"synth(ilp=8,ws=64K)",
+		"synth(phases=4,plen=10000)",
+	}
+	for i, s := range specs {
+		spec, err := workload.ParseSpec(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = spec.Name()
+	}
+	var lo, hi float64
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Grid([]core.Config{cfg}, specs, Insts, Warmup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi = 0, 0
+		for _, r := range res {
+			ipc := r.Stats.IPC()
+			if lo == 0 || ipc < lo {
+				lo = ipc
+			}
+			if ipc > hi {
+				hi = ipc
+			}
+			committed += r.Stats.Committed
+		}
+	}
+	b.ReportMetric(lo, "min-IPC")
+	b.ReportMetric(hi, "max-IPC")
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "grid-inst/s")
+}
+
+// MixFairnessStudy measures the multi-programmed fairness study kernel:
+// 2-stream synth-random mixes on ring and conventional machines, with
+// single-stream baselines served through a content-addressed store and
+// STP/ANTT/fairness computed per mix — the mixstudy subcommand's inner
+// loop. A fresh store per iteration keeps the measurement cold-cache;
+// overlapping mix seed windows still share baselines within a pass.
+func MixFairnessStudy(b *testing.B) {
+	cfgs := []core.Config{
+		core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		core.MustPaperConfig(core.ArchConv, 8, 2, 1),
+	}
+	var stp, antt, fair float64
+	sims := 0
+	for i := 0; i < b.N; i++ {
+		store := results.NewMemoryLRU(4096)
+		sims = 0
+		run := func(req harness.Request) results.Result {
+			res, hit, err := results.RunCached(store, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed() {
+				b.Fatalf("%s/%s: %s", req.Config.Name, req.Workload.Name(), res.Err)
+			}
+			if !hit {
+				sims++
+			}
+			return res
+		}
+		n := 0.0
+		stp, antt, fair = 0, 0, 0
+		for _, cfg := range cfgs {
+			for s := uint64(1); s <= 2; s++ {
+				spec := workload.Spec{Streams: []workload.StreamSpec{
+					{Program: "synth-random", Seed: s},
+					{Program: "synth-random", Seed: s + 1},
+				}}
+				req := harness.Request{Config: cfg, Workload: spec, Insts: Insts, Warmup: Warmup}
+				mixRes := run(req)
+				var base []float64
+				for _, breq := range harness.BaselineRequests(req) {
+					bres := run(breq)
+					base = append(base, bres.Stats.IPC())
+				}
+				m, err := harness.Fairness(mixRes.Stats, base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stp += m.STP
+				antt += m.ANTT
+				fair += m.Fairness
+				n++
+			}
+		}
+		stp, antt, fair = stp/n, antt/n, fair/n
+	}
+	b.ReportMetric(stp, "mean-STP")
+	b.ReportMetric(antt, "mean-ANTT")
+	b.ReportMetric(fair, "mean-fairness")
+	b.ReportMetric(float64(sims), "sims/op")
+}

@@ -21,10 +21,13 @@ type EvalStats struct {
 	CacheHits int
 }
 
-// Evaluator scores one materialized configuration. Implementations must
-// be safe for concurrent use: the engine evaluates whole batches at once.
+// Evaluator scores one materialized configuration on a workload.
+// programs is the candidate's scenario (spec strings, possibly
+// synthetic); nil means the evaluator's own default suite.
+// Implementations must be safe for concurrent use: the engine evaluates
+// whole batches at once.
 type Evaluator interface {
-	Evaluate(cfg core.Config) (Objectives, EvalStats, error)
+	Evaluate(cfg core.Config, programs []string) (Objectives, EvalStats, error)
 }
 
 // SimEvaluator scores candidates locally: every workload program runs
@@ -54,15 +57,19 @@ func (e *SimEvaluator) init() {
 	})
 }
 
-// Evaluate runs the suite for cfg and reduces it to (mean IPC, area).
-func (e *SimEvaluator) Evaluate(cfg core.Config) (Objectives, EvalStats, error) {
+// Evaluate runs the candidate's workload (or, when programs is nil, the
+// evaluator's default suite) for cfg and reduces it to (mean IPC, area).
+func (e *SimEvaluator) Evaluate(cfg core.Config, programs []string) (Objectives, EvalStats, error) {
 	e.init()
 	var st EvalStats
-	if len(e.Programs) == 0 {
+	if programs == nil {
+		programs = e.Programs
+	}
+	if len(programs) == 0 {
 		return Objectives{}, st, fmt.Errorf("dse: evaluator has no programs")
 	}
 	var sumIPC float64
-	for _, prog := range e.Programs {
+	for _, prog := range programs {
 		spec, err := workload.ParseSpec(prog)
 		if err != nil {
 			return Objectives{}, st, err
@@ -92,7 +99,7 @@ func (e *SimEvaluator) Evaluate(cfg core.Config) (Objectives, EvalStats, error) 
 		sumIPC += stats.IPC()
 	}
 	return Objectives{
-		IPC:  sumIPC / float64(len(e.Programs)),
+		IPC:  sumIPC / float64(len(programs)),
 		Area: Area(cfg),
 	}, st, nil
 }

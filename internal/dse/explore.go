@@ -175,7 +175,12 @@ func evaluateBatch(space *Space, ev Evaluator, batch []Candidate, workers int) [
 				outs[i] = outcome{invalid: true}
 				return
 			}
-			obj, stats, err := ev.Evaluate(cfg)
+			progs, err := space.Workloads(c)
+			if err != nil {
+				outs[i] = outcome{invalid: true}
+				return
+			}
+			obj, stats, err := ev.Evaluate(cfg, progs)
 			outs[i] = outcome{config: cfg.Name, obj: obj, stats: stats, err: err}
 		}(i, c)
 	}

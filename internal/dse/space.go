@@ -53,8 +53,11 @@ const (
 	AxisRegs     = "regs"     // Config.RegsInt and RegsFP
 )
 
-// knownAxes lists every registered knob, in canonical (sorted) order.
-var knownAxes = []string{AxisArch, AxisBuses, AxisClusters, AxisHop, AxisIQ, AxisIW, AxisRegs}
+// knownAxes lists every registered knob, in canonical (sorted) order —
+// the hardware axes above plus the workload axes (wilp, wws, wbr,
+// wphases; see workload.go), which vary the scenario instead of the
+// machine.
+var knownAxes = append([]string{AxisArch, AxisBuses, AxisClusters, AxisHop, AxisIQ, AxisIW, AxisRegs}, workloadAxes...)
 
 // Space is the search domain: a base configuration plus the axes that
 // vary over it. Axes not listed keep the base value, so a Space is a
@@ -146,6 +149,9 @@ func (c Candidate) Key() string {
 func (s *Space) Config(c Candidate) (core.Config, error) {
 	cfg := s.Base
 	for name, v := range c.Params {
+		if isWorkloadAxis(name) {
+			continue // materialized by Workloads, not the config
+		}
 		switch name {
 		case AxisArch:
 			switch v {

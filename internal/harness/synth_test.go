@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestSynthExecuteDeterminism drives synthetic specs — parameterized,
+// phased, family-sampled, and mixed — through the production Execute
+// path twice. The second round is guaranteed to hit the trace cache and
+// recycle a pooled machine that just ran a different workload, so
+// identical statistics mean synth streams are deterministic under
+// exactly the reuse machinery real sweeps exercise.
+func TestSynthExecuteDeterminism(t *testing.T) {
+	cfg := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
+	specs := []string{
+		"synth",
+		"synth(ilp=8,ws=64K,ld=0.28)",
+		"synth(phases=3,plen=2000)@5",
+		"synth-random@7",
+		"synth-int@1+synth-fp@2",
+	}
+	want := make([]core.Stats, len(specs))
+	for round := 0; round < 2; round++ {
+		for i, s := range specs {
+			spec, err := workload.ParseSpec(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := Execute(Request{Config: cfg, Workload: spec, Insts: 8_000, Warmup: 1_000})
+			if run.Err != nil {
+				t.Fatalf("%s round %d: %v", s, round, run.Err)
+			}
+			if round == 0 {
+				want[i] = run.Stats
+				continue
+			}
+			if !reflect.DeepEqual(run.Stats, want[i]) {
+				t.Errorf("%s: stats diverged across rounds\n got %+v\nwant %+v", s, run.Stats, want[i])
+			}
+		}
+	}
+}
+
+// TestSynthTraceCacheCounters checks that synthetic streams are cached
+// and accounted like profile streams: one materialization per
+// (canonical spec, seed), hits counted on replay, distinct seeds kept
+// as distinct entries.
+func TestSynthTraceCacheCounters(t *testing.T) {
+	tc := NewTraceCache(1 << 22)
+	if _, err := tc.Stream("synth(ilp=8)", 3, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Stream("synth(ilp=8)", 3, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Stream("synth(ilp=8)", 4, 2000); err != nil {
+		t.Fatal(err)
+	}
+	st := tc.Stats()
+	if st.Entries != 2 || st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("cache stats = %+v, want 2 entries, 1 hit, 2 misses", st)
+	}
+	if st.Insts < 4000 || st.Bytes == 0 {
+		t.Errorf("cache accounting empty: %+v", st)
+	}
+}
+
+// TestFairnessMetrics pins the metric definitions on a hand-built mix:
+// stream 0 at baseline IPC 2.0 runs at 1.0 in the mix (slowdown 2),
+// stream 1 at baseline 1.0 runs at 0.8 (slowdown 1.25).
+func TestFairnessMetrics(t *testing.T) {
+	mix := core.Stats{
+		Cycles: 10_000,
+		PerStream: []core.StreamStats{
+			{Committed: 10_000}, // mix IPC 1.0
+			{Committed: 8_000},  // mix IPC 0.8
+		},
+	}
+	m, err := Fairness(mix, []float64{2.0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !approx(m.Slowdowns[0], 2.0) || !approx(m.Slowdowns[1], 1.25) {
+		t.Errorf("slowdowns = %v, want [2 1.25]", m.Slowdowns)
+	}
+	if !approx(m.STP, 0.5+0.8) {
+		t.Errorf("STP = %v, want 1.3", m.STP)
+	}
+	if !approx(m.ANTT, (2.0+1.25)/2) {
+		t.Errorf("ANTT = %v, want 1.625", m.ANTT)
+	}
+	if !approx(m.Fairness, 1.25/2.0) {
+		t.Errorf("Fairness = %v, want 0.625", m.Fairness)
+	}
+
+	if _, err := Fairness(core.Stats{}, nil); err == nil {
+		t.Error("single-stream stats must be rejected")
+	}
+	if _, err := Fairness(mix, []float64{2.0}); err == nil {
+		t.Error("baseline count mismatch must be rejected")
+	}
+	if _, err := Fairness(mix, []float64{2.0, 0}); err == nil {
+		t.Error("zero baseline IPC must be rejected")
+	}
+}
+
+// TestBaselineRequests checks that the baselines of a mix are ordinary
+// single-stream requests preserving each stream's identity and the
+// request's budgets — which is what lets the result store share them
+// across mixes.
+func TestBaselineRequests(t *testing.T) {
+	spec, err := workload.ParseSpec("synth-random@3+synth(ilp=8):5000@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{
+		Config:   core.MustPaperConfig(core.ArchConv, 4, 1, 1),
+		Workload: spec,
+		Insts:    20_000,
+		Warmup:   4_000,
+	}
+	base := BaselineRequests(req)
+	if len(base) != 2 {
+		t.Fatalf("got %d baselines, want 2", len(base))
+	}
+	wantNames := []string{"synth-random@3", "synth(ilp=8):5000@9"}
+	for i, b := range base {
+		if got := b.Workload.Name(); got != wantNames[i] {
+			t.Errorf("baseline %d spec = %q, want %q", i, got, wantNames[i])
+		}
+		if len(b.Workload.Streams) != 1 {
+			t.Errorf("baseline %d has %d streams", i, len(b.Workload.Streams))
+		}
+		if b.Config.Name != req.Config.Name || b.Insts != req.Insts || b.Warmup != req.Warmup {
+			t.Errorf("baseline %d does not preserve config/budgets: %+v", i, b)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package harness
+
+// Importing internal/synth registers the synthetic-workload provider
+// with internal/workload at init time. Every execution path — server,
+// sweeps, DSE, fleet workers, the CLIs — reaches workloads through this
+// package, so the single blank import here makes synth specs resolvable
+// everywhere a program name is accepted.
+import _ "repro/internal/synth"

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"sync"
+	"unsafe"
 
 	"repro/internal/isa"
 	"repro/internal/trace"
@@ -14,9 +15,12 @@ import (
 // trace a single time instead of once per configuration. Entries are
 // keyed per stream — (program, seed) — so two mixes sharing a stream
 // share its trace, and two seeds of one program materialize separately.
-// Entries extend in place: a request for a longer prefix pulls more
-// instructions from the stream's retained generator, and outstanding
-// shorter views stay valid (extension never mutates published elements).
+// Program names are canonical by the time they reach the cache
+// (workload.ParseSpec normalizes synthetic specs), so equivalent
+// spellings of one synth workload share a single entry. Entries extend
+// in place: a request for a longer prefix pulls more instructions from
+// the stream's retained generator, and outstanding shorter views stay
+// valid (extension never mutates published elements).
 //
 // The cache is safe for concurrent use and bounded by a total-instruction
 // budget; requests it cannot admit fall back to a private generator, so
@@ -27,11 +31,13 @@ type TraceCache struct {
 
 	mu      sync.Mutex
 	total   uint64
+	hits    uint64
+	misses  uint64
 	entries map[streamKey]*traceEntry
 }
 
-// streamKey identifies one materialized stream: a program profile plus
-// the seed override (0 = the profile's own seed).
+// streamKey identifies one materialized stream: a canonical program name
+// plus the seed override (0 = the program's own seed).
 type streamKey struct {
 	program string
 	seed    uint64
@@ -46,7 +52,7 @@ type traceEntry struct {
 	reserved uint64
 
 	mu    sync.Mutex
-	gen   *workload.Generator
+	gen   trace.Stream
 	insts []isa.Inst
 }
 
@@ -61,38 +67,57 @@ func NewTraceCache(budget uint64) *TraceCache {
 // full suite at the paper's default instruction counts.
 var DefaultTraceCache = NewTraceCache(64 << 20)
 
-// streamProfile resolves the profile one stream replays, applying its
-// seed override.
-func streamProfile(program string, seed uint64) (workload.Profile, error) {
-	prof, err := workload.ByName(program)
-	if err != nil {
-		return workload.Profile{}, err
+// TraceCacheStats is a point-in-time snapshot of the cache's occupancy
+// and service counters, exported by the server's /metrics endpoint: with
+// synthetic specs the workload space is unbounded, so trace generation
+// is a first-class cost operators need visibility into.
+type TraceCacheStats struct {
+	// Entries is the number of materialized streams.
+	Entries int
+	// Insts is the total reserved instruction budget across entries.
+	Insts uint64
+	// Bytes is the approximate memory the materialized traces occupy.
+	Bytes uint64
+	// Hits counts Stream calls served from an existing entry; Misses
+	// counts calls that materialized a new entry or fell back to a
+	// private generator because the budget was exhausted.
+	Hits, Misses uint64
+}
+
+// instSize approximates one materialized instruction's memory cost.
+var instSize = uint64(unsafe.Sizeof(isa.Inst{}))
+
+// Stats returns a snapshot of the cache counters.
+func (tc *TraceCache) Stats() TraceCacheStats {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return TraceCacheStats{
+		Entries: len(tc.entries),
+		Insts:   tc.total,
+		Bytes:   tc.total * instSize,
+		Hits:    tc.hits,
+		Misses:  tc.misses,
 	}
-	if seed != 0 {
-		prof.Seed = seed
-	}
-	return prof, nil
 }
 
 // Stream returns a trace.Stream yielding exactly the first n dynamic
 // instructions of the named program under the given seed override (0 =
-// profile default): a replay of the shared materialized trace when the
+// program default): a replay of the shared materialized trace when the
 // budget admits it, otherwise a freshly generated stream. Both paths
-// produce bit-identical instruction sequences.
+// produce bit-identical instruction sequences. Program may be a fixed
+// profile name or a canonical synthetic spec (workload.NewStream
+// resolves both).
 func (tc *TraceCache) Stream(program string, seed, n uint64) (trace.Stream, error) {
-	prof, err := streamProfile(program, seed)
-	if err != nil {
-		return nil, err
-	}
 	key := streamKey{program: program, seed: seed}
 	tc.mu.Lock()
 	e := tc.entries[key]
 	if e == nil {
+		tc.misses++
 		if tc.budget != 0 && tc.total+n > tc.budget {
 			tc.mu.Unlock()
-			return tc.fresh(prof, n)
+			return tc.fresh(program, seed, n)
 		}
-		gen, err := workload.NewGenerator(prof)
+		gen, err := workload.NewStream(program, seed)
 		if err != nil {
 			tc.mu.Unlock()
 			return nil, err
@@ -100,14 +125,17 @@ func (tc *TraceCache) Stream(program string, seed, n uint64) (trace.Stream, erro
 		e = &traceEntry{gen: gen, reserved: n}
 		tc.entries[key] = e
 		tc.total += n
-	} else if n > e.reserved {
-		grow := n - e.reserved
-		if tc.budget != 0 && tc.total+grow > tc.budget {
-			tc.mu.Unlock()
-			return tc.fresh(prof, n)
+	} else {
+		tc.hits++
+		if n > e.reserved {
+			grow := n - e.reserved
+			if tc.budget != 0 && tc.total+grow > tc.budget {
+				tc.mu.Unlock()
+				return tc.fresh(program, seed, n)
+			}
+			e.reserved = n
+			tc.total += grow
 		}
-		e.reserved = n
-		tc.total += grow
 	}
 	tc.mu.Unlock()
 
@@ -126,8 +154,8 @@ func (tc *TraceCache) Stream(program string, seed, n uint64) (trace.Stream, erro
 }
 
 // fresh builds the unshared fallback stream.
-func (tc *TraceCache) fresh(prof workload.Profile, n uint64) (trace.Stream, error) {
-	gen, err := workload.NewGenerator(prof)
+func (tc *TraceCache) fresh(program string, seed, n uint64) (trace.Stream, error) {
+	gen, err := workload.NewStream(program, seed)
 	if err != nil {
 		return nil, err
 	}

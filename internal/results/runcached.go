@@ -1,0 +1,42 @@
+package results
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+// RunCached executes a request through a content-addressed store: a
+// stored result for the request's key is returned as-is (hit = true), a
+// miss simulates, records, and returns the fresh result. Failed cached
+// results are re-simulated rather than replayed — an error is a property
+// of the attempt, not of the request.
+//
+// This is the building block study drivers share: across a sweep of
+// multi-programmed mixes, every single-stream baseline is one key, so
+// it simulates once and is a store hit for every mix that contains the
+// stream.
+func RunCached(store Store, req harness.Request) (Result, bool, error) {
+	key, err := NewRequest(req).Key()
+	if err != nil {
+		return Result{}, false, err
+	}
+	if store != nil {
+		if res, ok, err := store.Get(key); err != nil {
+			return Result{}, false, fmt.Errorf("results: get %s: %w", key[:12], err)
+		} else if ok && !res.Failed() {
+			return res, true, nil
+		}
+	}
+	run := harness.Execute(req)
+	res, err := FromRun(req, run)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if store != nil && !res.Failed() {
+		if err := store.Put(key, res); err != nil {
+			return Result{}, false, fmt.Errorf("results: put %s: %w", key[:12], err)
+		}
+	}
+	return res, false, nil
+}

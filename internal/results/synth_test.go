@@ -1,0 +1,73 @@
+package results
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// goldenSynthSpec is a non-canonical spelling of the ISSUE's example
+// scenario; goldenSynthCanonical is the one spelling every layer must
+// agree on. The pinned key is what that scenario hashes to in every
+// result store — if either constant changes, deployed caches orphan
+// their synth entries, exactly like a SchemaVersion break.
+const (
+	goldenSynthSpec      = "synth(ws=4194304, ilp=8.0, br=0.12, ld=0.28, st=0.12, stride=0.6, phases=3)@11"
+	goldenSynthCanonical = "synth(ilp=8,br=0.12,ws=4M,ld=0.28,st=0.12,stride=0.6,phases=3)@11"
+	goldenSynthKey       = "f76cf963769dd123af0c4164255debabf68138fcd4718578b25aed13c4ab6e68"
+)
+
+func goldenSynthRequest(t *testing.T) harness.Request {
+	t.Helper()
+	spec, err := workload.ParseSpec(goldenSynthSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.Request{
+		Config:   core.MustPaperConfig(core.ArchRing, 8, 2, 1),
+		Workload: spec,
+		Insts:    10_000,
+		Warmup:   2_000,
+	}
+}
+
+// TestGoldenSynthContentHash pins the canonicalization and content key
+// of a synthetic request: equal scenarios must keep hashing to equal
+// keys across releases, or every cached synth result is orphaned.
+func TestGoldenSynthContentHash(t *testing.T) {
+	req := goldenSynthRequest(t)
+	if got := req.Workload.Name(); got != goldenSynthCanonical {
+		t.Errorf("canonical spelling changed:\n got %s\nwant %s", got, goldenSynthCanonical)
+	}
+	key, err := NewRequest(req).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != goldenSynthKey {
+		t.Errorf("content hash of the golden synth request changed:\n got %s\nwant %s\n"+
+			"(if intentional, bump results.SchemaVersion and repin)", key, goldenSynthKey)
+	}
+}
+
+// TestGoldenSynthStats pins the simulated outcome of the golden synth
+// request. Synthetic workloads are pure functions of (canonical spec,
+// seed): any drift here means previously cached synth records no longer
+// describe what the simulator would produce, silently poisoning every
+// store keyed by the unchanged request hash.
+func TestGoldenSynthStats(t *testing.T) {
+	const (
+		goldenCycles    = 11_814
+		goldenCommitted = 9_999
+	)
+	run := harness.Execute(goldenSynthRequest(t))
+	if run.Err != nil {
+		t.Fatal(run.Err)
+	}
+	if run.Stats.Cycles != goldenCycles || run.Stats.Committed != goldenCommitted {
+		t.Errorf("golden synth run drifted: cycles=%d committed=%d, want cycles=%d committed=%d\n"+
+			"(a deliberate generator change must bump results.SchemaVersion so stale cached synth results are not served)",
+			run.Stats.Cycles, run.Stats.Committed, goldenCycles, goldenCommitted)
+	}
+}

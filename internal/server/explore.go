@@ -186,7 +186,13 @@ func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []
 		programs = workload.Names()
 	}
 	for _, p := range programs {
-		if _, err := workload.ByName(p); err != nil {
+		// Full spec validation (not just fixed-profile lookup): programs
+		// may be multi-stream specs or synthetic workloads.
+		spec, err := workload.ParseSpec(p)
+		if err != nil {
+			return dse.Space{}, nil, nil, err
+		}
+		if err := spec.Validate(); err != nil {
 			return dse.Space{}, nil, nil, err
 		}
 	}
@@ -288,12 +294,17 @@ type queueEvaluator struct {
 }
 
 // Evaluate implements dse.Evaluator. It blocks until every program run of
-// the candidate is terminal (or the server closes).
-func (e *queueEvaluator) Evaluate(cfg core.Config) (dse.Objectives, dse.EvalStats, error) {
+// the candidate is terminal (or the server closes). programs carries a
+// workload-axis candidate's scenario; nil falls back to the
+// exploration's program suite.
+func (e *queueEvaluator) Evaluate(cfg core.Config, programs []string) (dse.Objectives, dse.EvalStats, error) {
 	s := e.s
 	var est dse.EvalStats
+	if programs == nil {
+		programs = e.programs
+	}
 	var sumIPC float64
-	for _, prog := range e.programs {
+	for _, prog := range programs {
 		spec, err := workload.ParseSpec(prog)
 		if err != nil {
 			return dse.Objectives{}, est, err
@@ -372,7 +383,7 @@ func (e *queueEvaluator) Evaluate(cfg core.Config) (dse.Objectives, dse.EvalStat
 	}
 	s.metrics.ExplorePoints.Add(1)
 	return dse.Objectives{
-		IPC:  sumIPC / float64(len(e.programs)),
+		IPC:  sumIPC / float64(len(programs)),
 		Area: dse.Area(cfg),
 	}, est, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fleet"
+	"repro/internal/harness"
 	"repro/internal/journal"
 )
 
@@ -253,6 +254,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ringsimd_journal_replayed_total", "Journal records replayed during startup recovery.", "counter", snap.Journal.Replayed},
 		{"ringsimd_journal_torn_total", "Truncated trailing journal records discarded at recovery.", "counter", snap.Journal.Torn},
 	}
+	// Trace-cache occupancy and service counters: with synthetic specs
+	// the workload space is unbounded, so trace generation is a
+	// first-class cost worth watching.
+	tc := harness.DefaultTraceCache.Stats()
+	rows = append(rows,
+		[]struct {
+			name, help, kind string
+			val              uint64
+		}{
+			{"ringsimd_trace_cache_entries", "Materialized workload streams resident in the trace cache.", "gauge", uint64(tc.Entries)},
+			{"ringsimd_trace_cache_bytes", "Approximate memory held by materialized traces.", "gauge", tc.Bytes},
+			{"ringsimd_trace_cache_hits_total", "Stream requests served from an existing trace-cache entry.", "counter", tc.Hits},
+			{"ringsimd_trace_cache_misses_total", "Stream requests that materialized a new entry or fell back to a private generator.", "counter", tc.Misses},
+		}...)
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.val)
 	}

@@ -1,0 +1,61 @@
+package synth
+
+import (
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// provider implements workload.SynthProvider over the spec grammar and
+// the named families. Registration happens at package init, so any
+// binary importing this package (internal/harness does) resolves synth
+// names everywhere workload names are taken.
+type provider struct{}
+
+func init() { workload.RegisterSynthProvider(provider{}) }
+
+// Resolve parses a synth name — parameterized spec or family — into the
+// parameter set it denotes under the given stream seed, plus its
+// canonical spelling. Family members sample their parameters from the
+// seed; parameterized specs ignore it here (the seed still separates
+// their generator streams).
+func Resolve(name string, seed uint64) (Params, string, error) {
+	if IsFamily(name) {
+		p, err := sampleFamily(name, seed)
+		return p, name, err
+	}
+	p, err := ParseParams(name)
+	if err != nil {
+		return Params{}, "", err
+	}
+	return p, p.Canonical(), nil
+}
+
+func (provider) Canonical(name string) (string, error) {
+	if IsFamily(name) {
+		return name, nil
+	}
+	p, err := ParseParams(name)
+	if err != nil {
+		return "", err
+	}
+	return p.Canonical(), nil
+}
+
+func (provider) Class(name string) (workload.ProgramClass, error) {
+	if f, ok := families[name]; ok {
+		return f.class, nil
+	}
+	p, err := ParseParams(name)
+	if err != nil {
+		return workload.ClassMixed, err
+	}
+	return classOf(p), nil
+}
+
+func (provider) NewStream(name string, seed uint64) (trace.Stream, error) {
+	p, canon, err := Resolve(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewStream(p, canon, seed)
+}

@@ -106,6 +106,12 @@ func (s Spec) Validate() error {
 		if st.Program == "" {
 			return fmt.Errorf("workload: stream %d has no program", i)
 		}
+		if IsSynthName(st.Program) {
+			if _, err := CanonicalName(st.Program); err != nil {
+				return fmt.Errorf("workload: stream %d: %w", i, err)
+			}
+			continue
+		}
 		if _, err := ByName(st.Program); err != nil {
 			return fmt.Errorf("workload: stream %d: %w", i, err)
 		}
@@ -118,13 +124,13 @@ func (s Spec) Validate() error {
 func (s Spec) Class() (ProgramClass, error) {
 	var cls ProgramClass
 	for i, st := range s.Streams {
-		prof, err := ByName(st.Program)
+		c, err := ClassOf(st.Program)
 		if err != nil {
 			return cls, err
 		}
 		if i == 0 {
-			cls = prof.Class
-		} else if prof.Class != cls {
+			cls = c
+		} else if c != cls {
 			return ClassMixed, nil
 		}
 	}
@@ -134,9 +140,12 @@ func (s Spec) Class() (ProgramClass, error) {
 // ParseSpec parses the spec string syntax: stream labels joined with
 // "+", each label program[:insts][@seed]. "gcc" is the classic single
 // run; "gcc+swim" a two-stream mix; "gcc@7+gcc@8" two diverging copies
-// of one program; "gcc:50000" a stream with an explicit budget.
-// Program existence is not checked here (Validate does that), so parsing
-// stays a pure syntax concern.
+// of one program; "gcc:50000" a stream with an explicit budget. A
+// program starting with "synth" is a synthetic spec (see internal/synth)
+// and is validated and canonicalized here — parameter order and number
+// formatting are normalized so equal workloads have equal Name() bytes
+// and therefore equal content keys. Fixed-profile existence is not
+// checked here (Validate does that), so parsing stays a syntax concern.
 func ParseSpec(s string) (Spec, error) {
 	if s == "" {
 		return Spec{}, fmt.Errorf("workload: empty spec")
@@ -174,6 +183,13 @@ func parseStream(s string) (StreamSpec, error) {
 	}
 	if s == "" {
 		return st, fmt.Errorf("empty program name")
+	}
+	if IsSynthName(s) {
+		canon, err := CanonicalName(s)
+		if err != nil {
+			return st, err
+		}
+		s = canon
 	}
 	st.Program = s
 	return st, nil

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Synthetic workloads extend the 26 fixed profiles into an unbounded,
+// content-addressed space: any program name starting with "synth" is a
+// parameterized spec ("synth(ilp=8,ws=4M)") or a named distribution
+// family ("synth-random"). The grammar itself lives in internal/synth;
+// that package registers a SynthProvider here at init time, which keeps
+// this package free of a dependency cycle (synth produces
+// workload.Profile values). Every binary that executes workloads reaches
+// synthetic specs through internal/harness, which imports internal/synth
+// for exactly this registration.
+
+// SynthProvider resolves synthetic workload names. Implementations must
+// be safe for concurrent use and fully deterministic: the canonical name
+// plus the stream seed must pin the instruction stream bit-for-bit across
+// processes and machines, because both the trace cache and the
+// content-addressed result store key off them.
+type SynthProvider interface {
+	// Canonical validates the name and returns its canonical spelling
+	// (parameters in canonical order and formatting), so that equal
+	// workloads have equal bytes — and therefore equal content keys —
+	// regardless of how the spec was written.
+	Canonical(name string) (string, error)
+	// Class reports the suite class the spec belongs to (ClassMixed when
+	// it cannot be determined from the name alone, e.g. sampled
+	// families).
+	Class(name string) (ProgramClass, error)
+	// NewStream returns the infinite instruction stream the spec denotes
+	// under the given stream seed (0 = the spec's default seed).
+	NewStream(name string, seed uint64) (trace.Stream, error)
+}
+
+// synthProvider is the registered provider, nil until internal/synth's
+// init runs. Registration happens during package initialization, before
+// any goroutines run, so no lock is needed.
+var synthProvider SynthProvider
+
+// RegisterSynthProvider installs the synthetic-workload resolver. It is
+// called once, from internal/synth's init.
+func RegisterSynthProvider(p SynthProvider) { synthProvider = p }
+
+// IsSynthName reports whether a program name denotes a synthetic
+// workload rather than one of the fixed profiles. No fixed profile name
+// starts with "synth", so the prefix is unambiguous.
+func IsSynthName(name string) bool { return strings.HasPrefix(name, "synth") }
+
+// errNoSynth explains a synth name reaching a binary that never linked
+// the generator.
+func errNoSynth() error {
+	return fmt.Errorf("workload: synthetic specs unavailable (import repro/internal/synth)")
+}
+
+// CanonicalName returns the canonical spelling of a program name: fixed
+// profile names are already canonical (existence is checked by Validate,
+// not here), synthetic names are validated and normalized by the
+// provider.
+func CanonicalName(name string) (string, error) {
+	if !IsSynthName(name) {
+		return name, nil
+	}
+	if synthProvider == nil {
+		return "", errNoSynth()
+	}
+	return synthProvider.Canonical(name)
+}
+
+// ClassOf returns the suite class of a program name, resolving both
+// fixed profiles and synthetic specs.
+func ClassOf(name string) (ProgramClass, error) {
+	if IsSynthName(name) {
+		if synthProvider == nil {
+			return ClassMixed, errNoSynth()
+		}
+		return synthProvider.Class(name)
+	}
+	p, err := ByName(name)
+	if err != nil {
+		return ClassMixed, err
+	}
+	return p.Class, nil
+}
+
+// NewStream returns the infinite instruction stream one workload stream
+// replays: program resolved by name (fixed profile or synthetic spec),
+// with seed overriding the default PRNG seed (0 keeps it). This is the
+// single construction point the trace cache and every fallback path use,
+// so both produce bit-identical sequences.
+func NewStream(program string, seed uint64) (trace.Stream, error) {
+	if IsSynthName(program) {
+		if synthProvider == nil {
+			return nil, errNoSynth()
+		}
+		return synthProvider.NewStream(program, seed)
+	}
+	prof, err := ByName(program)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		prof.Seed = seed
+	}
+	return NewGenerator(prof)
+}
+
+// SplitList splits a comma-separated list of spec strings, ignoring
+// commas nested inside parentheses — "gcc,synth(ilp=8,ws=4M),swim" is
+// three items. Empty items are dropped and the rest are
+// whitespace-trimmed. CLI flags that take workload lists must use this
+// instead of strings.Split, or synth parameter lists would be torn
+// apart.
+func SplitList(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if item := strings.TrimSpace(s[start:end]); item != "" {
+			out = append(out, item)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
+	return out
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Synthetic workload end-to-end smoke: generate a trace from a synth
+# spec and inspect it, then run the mixstudy fairness study twice over
+# one disk cache and assert the second pass simulates NOTHING — every
+# mix and every single-stream baseline must be served by content key,
+# which only holds if synth canonicalization and seeding are stable
+# across processes.
+#
+#   scripts/synth_smoke.sh [INSTS] [WARMUP]
+#
+# Exits non-zero on any assertion failure. Used by the CI synth-smoke job.
+set -eu
+cd "$(dirname "$0")/.."
+
+INSTS="${1:-20000}"
+WARMUP="${2:-4000}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "synth-smoke: building binaries"
+go build -o "$TMP/bin/" ./cmd/tracegen ./cmd/ringsim
+
+echo "synth-smoke: generating a synthetic trace"
+"$TMP/bin/tracegen" -prog 'synth(ilp=8,ws=256K,ld=0.28,phases=2,plen=5000)@3' \
+    -n "$INSTS" -o "$TMP/synth.trc" >"$TMP/gen.log" 2>&1 \
+    || { echo "synth-smoke: FAIL: tracegen generate"; cat "$TMP/gen.log"; exit 1; }
+
+"$TMP/bin/tracegen" -inspect "$TMP/synth.trc" >"$TMP/inspect.log" 2>&1 \
+    || { echo "synth-smoke: FAIL: tracegen inspect"; cat "$TMP/inspect.log"; exit 1; }
+grep -q "$INSTS valid instructions" "$TMP/inspect.log" \
+    || { echo "synth-smoke: FAIL: inspected trace is not $INSTS valid instructions"; cat "$TMP/inspect.log"; exit 1; }
+
+# Regenerating the same spec must produce the same bytes (cross-process
+# determinism of the canonical spec + seed).
+"$TMP/bin/tracegen" -prog 'synth(ld=0.28, ws=262144, plen=5000, phases=2, ilp=8.0)@3' \
+    -n "$INSTS" -o "$TMP/synth2.trc" >/dev/null 2>&1
+cmp -s "$TMP/synth.trc" "$TMP/synth2.trc" \
+    || { echo "synth-smoke: FAIL: equivalent spec spellings generated different traces"; exit 1; }
+
+simulated() {
+    sed -n 's/^runs: \([0-9][0-9]*\) simulated, \([0-9][0-9]*\) served.*/\1 \2/p' "$1"
+}
+
+echo "synth-smoke: mixstudy first pass (cold cache)"
+"$TMP/bin/ringsim" mixstudy -mixes 2 -streams 2,4 -seed 5 \
+    -insts "$INSTS" -warmup "$WARMUP" -cache-dir "$TMP/cache" \
+    >"$TMP/pass1.log" 2>&1 \
+    || { echo "synth-smoke: FAIL: first mixstudy pass"; cat "$TMP/pass1.log"; exit 1; }
+set -- $(simulated "$TMP/pass1.log")
+SIM1="${1:-}" HIT1="${2:-}"
+[ -n "$SIM1" ] || { echo "synth-smoke: FAIL: no summary line in pass 1"; cat "$TMP/pass1.log"; exit 1; }
+echo "synth-smoke: pass 1: $SIM1 simulated, $HIT1 store hits"
+[ "$SIM1" -gt 0 ] || { echo "synth-smoke: FAIL: cold pass simulated nothing"; exit 1; }
+
+echo "synth-smoke: mixstudy second pass (warm cache)"
+"$TMP/bin/ringsim" mixstudy -mixes 2 -streams 2,4 -seed 5 \
+    -insts "$INSTS" -warmup "$WARMUP" -cache-dir "$TMP/cache" \
+    >"$TMP/pass2.log" 2>&1 \
+    || { echo "synth-smoke: FAIL: second mixstudy pass"; cat "$TMP/pass2.log"; exit 1; }
+set -- $(simulated "$TMP/pass2.log")
+SIM2="${1:-}" HIT2="${2:-}"
+echo "synth-smoke: pass 2: $SIM2 simulated, $HIT2 store hits"
+[ "${SIM2:-1}" -eq 0 ] \
+    || { echo "synth-smoke: FAIL: warm pass simulated $SIM2 runs (expected 0 — 100% cache hits)"; cat "$TMP/pass2.log"; exit 1; }
+
+# Same study, same store → the printed tables must be identical.
+grep -v '^runs:' "$TMP/pass1.log" >"$TMP/tbl1"
+grep -v '^runs:' "$TMP/pass2.log" >"$TMP/tbl2"
+cmp -s "$TMP/tbl1" "$TMP/tbl2" \
+    || { echo "synth-smoke: FAIL: cached pass printed a different study table"; diff "$TMP/tbl1" "$TMP/tbl2" || true; exit 1; }
+
+echo "synth-smoke: PASS"
