@@ -80,6 +80,7 @@ func main() {
 	programs := flag.String("programs", "", "run ONE multi-programmed workload mixing these programs (comma list; overrides -progs)")
 	verbose := flag.Bool("v", false, "print extra statistics")
 	asJSON := flag.Bool("json", false, "emit results as JSON (internal/results encoding)")
+	batch := flag.Int("batch", 0, "max configs advanced in lockstep over one shared trace (0 = auto, 1 = disable batching)")
 	flag.Parse()
 
 	archKind := core.ArchRing
@@ -135,7 +136,7 @@ func main() {
 		}
 	}
 
-	res, err := harness.Grid([]core.Config{cfg}, names, *insts, *warmup)
+	res, err := harness.GridN([]core.Config{cfg}, names, *insts, *warmup, *batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringsim:", err)
 		os.Exit(1)

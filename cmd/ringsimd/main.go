@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ringsimd [-addr :8080] [-workers N] [-queue N]
+//	ringsimd [-addr :8080] [-workers N] [-queue N] [-batch N]
 //	         [-cache-dir DIR] [-cache-max-bytes N] [-mem-entries N]
 //	         [-journal-dir DIR] [-pprof-addr HOST:PORT]
 //	         [-fleet] [-fleet-secret S]
@@ -71,6 +71,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "local simulation worker-pool size (-1 with -fleet = dispatch-only, no local simulations)")
 	queue := flag.Int("queue", 256, "job queue depth (single runs beyond it get 503; sweeps of any size trickle through)")
+	batch := flag.Int("batch", 0, "max runs a worker advances in lockstep over one shared trace (0 = auto, 1 = disable batching)")
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "size bound for -cache-dir; least-recently-used entries are pruned past it (0 = unbounded)")
 	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
@@ -91,7 +92,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringsimd:", err)
 		os.Exit(2)
 	}
-	opts := server.Options{Workers: *workers, QueueDepth: *queue, Store: store, FleetSecret: *fleetSecret}
+	opts := server.Options{Workers: *workers, QueueDepth: *queue, Batch: *batch, Store: store, FleetSecret: *fleetSecret}
 	if *fleetMode {
 		opts.Fleet = &fleet.CoordinatorOptions{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeat}
 	} else if *workers < 0 {

@@ -177,6 +177,7 @@ type streamFE struct {
 
 	pendingInst   isa.Inst // fetched but not yet enqueued (stall overflow)
 	scratchInst   isa.Inst // staging buffer for interface-stream fetches
+	pendingFlags  uint8    // oracle annotations of pendingInst
 	havePending   bool
 	fetchBlocked  bool // waiting for a mispredicted branch to resolve
 	fetchResumeAt uint64
@@ -206,6 +207,11 @@ type Machine struct {
 	fabric    *interconnect.Fabric
 	pred      *bpred.Predictor
 	mem       *cache.Hierarchy
+	// oracle, when set, supplies precomputed front-end annotations for the
+	// single materialized stream (see FrontEndOracle); oracleIdx is the
+	// next annotation to consume.
+	oracle    *FrontEndOracle
+	oracleIdx int
 
 	vals      valueTable
 	renameMap [2][isa.NumArchRegs]valueID
@@ -385,6 +391,9 @@ func (m *Machine) ResetMulti(cfg Config, streams []trace.Stream) error {
 	// mutates its round-robin counter inside Choose, which constrains the
 	// dispatch stall-check order (see dispatch).
 	m.statelessChoose = cfg.Steer != SteerSimple
+	if p, ok := m.alg.(steering.GeometryPrimer); ok {
+		p.PrimeGeometry(steering.PrimeTables(cfg.Clusters, m.minDist), m.files, m.visTable[:cfg.Clusters])
+	}
 
 	m.iqInt = resetSides(m.iqInt, cfg.Clusters, cfg.IQInt)
 	m.iqFP = resetSides(m.iqFP, cfg.Clusters, cfg.IQFP)
@@ -429,6 +438,8 @@ func (m *Machine) ResetMulti(cfg Config, streams []trace.Stream) error {
 	m.lineShift = uint(bits.TrailingZeros64(uint64(cfg.Mem.L1I.LineBytes)))
 	m.lastCommitAt = 0
 	m.dcachePortsUse = 0
+	m.oracle = nil
+	m.oracleIdx = 0
 	m.err = nil
 	m.stats = Stats{}
 	m.statsBase = 0
@@ -587,17 +598,202 @@ var ErrNoProgress = fmt.Errorf("core: no commit progress (pipeline wedged)")
 const noProgressLimit = 1 << 16
 
 // Run simulates until the stream drains or maxCycles elapses (0 means no
-// cycle bound). It returns the final statistics.
+// cycle bound). It returns the final statistics. Provably inert stall
+// windows (an L2 miss holding the ROB head, a drained fetch queue behind
+// an I-cache refill) are fast-forwarded in bulk; the resulting statistics
+// are bit-identical to stepping every cycle.
 func (m *Machine) Run(maxCycles uint64) (Stats, error) {
 	for !m.Done() {
 		if maxCycles > 0 && m.now >= maxCycles {
 			break
+		}
+		if m.fastForward(maxCycles) {
+			continue
 		}
 		if err := m.Step(); err != nil {
 			return m.Stats(), err
 		}
 	}
 	return m.Stats(), nil
+}
+
+// RunCommitted advances the machine until at least n instructions have
+// committed or the machine drains, with the same idle-cycle fast-forward
+// as Run (quiet cycles commit nothing, so skipping them cannot overshoot
+// the target). The harness uses it to run warm-up windows.
+func (m *Machine) RunCommitted(n uint64) error {
+	for m.stats.Committed < n && !m.Done() {
+		if m.fastForward(0) {
+			continue
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWindow advances the machine until its clock reaches stopAt, at least
+// commitTarget instructions have committed (0 = no commit bound), or the
+// machine drains — whichever comes first. It returns true when the
+// machine drained or hit the commit target. Batched lockstep execution
+// uses it to interleave several machines over one shared trace in
+// cache-friendly windows; where a machine stops and resumes has no effect
+// on its simulation, so the results are bit-identical to a single Run.
+func (m *Machine) RunWindow(stopAt, commitTarget uint64) (bool, error) {
+	for !m.Done() {
+		if commitTarget > 0 && m.stats.Committed >= commitTarget {
+			return true, nil
+		}
+		if m.now >= stopAt {
+			return false, nil
+		}
+		if m.fastForward(stopAt) {
+			continue
+		}
+		if err := m.Step(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// fastForward detects that the current cycle — and a provable run of
+// cycles after it — performs no work beyond bumping one dispatch stall
+// counter, and executes the whole window at once: counters advance by the
+// window length, the steering algorithm ticks in bulk, and the clock jumps
+// to the first cycle that might do real work. The machine state after a
+// fast-forward is bit-identical to stepping each cycle, including every
+// statistics counter. Returns false when the current cycle must be
+// stepped normally.
+//
+// A cycle is quiet when every pipeline stage is provably inert:
+//
+//   - writeback/issue: no completion event or issue-calendar wakeup is
+//     scheduled for it (the calendars hold everything within
+//     eventHorizon, so one ring scan finds the first busy cycle);
+//   - commit: the ROB head is not done (its completion event would end
+//     the window first);
+//   - issueComms: no communication is eligible (commGlobalEligible);
+//   - issue: nothing is in any ready list (a ready-but-blocked entry
+//     re-arbitrates every cycle and accrues NReady/DCacheBusy);
+//   - dispatch: the fetch queue is empty, the head is inside its
+//     decode/steer latency, or a resource stall repeats deterministically
+//     (probed via planDispatch, which is side-effect-free for stateless
+//     steering; SSA machines step stall cycles normally because Choose
+//     advances their round-robin state);
+//   - fetch: the queue is full, or every stream is blocked on a
+//     mispredict, exhausted, or waiting out an I-cache refill (the
+//     earliest refill caps the window).
+//
+// Stalls decided after steering (IQ/regs/comm) additionally depend on the
+// Choose decision; Conv's DCOUNT decay can change it, so those windows
+// stop at the next decay boundary. Windows with a non-empty ROB stop
+// before the no-progress limit so the wedge diagnostic fires at the exact
+// cycle it always did.
+func (m *Machine) fastForward(maxCycles uint64) bool {
+	// Current-cycle activity: any of these makes the cycle non-quiet.
+	if m.readyCount != 0 {
+		return false
+	}
+	if m.commGlobalEligible <= m.now {
+		return false
+	}
+	if e := m.rob.Peek(); e != nil && e.state == robDone {
+		return false
+	}
+	slot := m.now % eventHorizon
+	if len(m.events[slot]) != 0 || len(m.iqCal[slot]) != 0 {
+		return false
+	}
+
+	// The window's end: the earliest future cycle with scheduled work.
+	target := m.commGlobalEligible
+	for d := uint64(1); d < eventHorizon; d++ {
+		s := (m.now + d) % eventHorizon
+		if len(m.events[s]) != 0 || len(m.iqCal[s]) != 0 {
+			if t := m.now + d; t < target {
+				target = t
+			}
+			break
+		}
+	}
+
+	// Fetch: quiet while the queue is full (dispatch drains it, and
+	// dispatch is inert below) or no stream may fetch; the earliest
+	// I-cache refill re-activates a stream.
+	if !m.fetchQ.Full() {
+		for i := range m.fes {
+			fe := &m.fes[i]
+			if fe.fetchBlocked || (fe.streamDone && !fe.havePending) {
+				continue // only a writeback can re-enable these
+			}
+			if m.now < fe.fetchResumeAt {
+				if fe.fetchResumeAt < target {
+					target = fe.fetchResumeAt
+				}
+				continue
+			}
+			return false // would fetch this cycle
+		}
+	}
+
+	// Dispatch: classify the head's stall and how long it holds.
+	var stall *uint64
+	if fe := m.fetchQ.Peek(); fe == nil {
+		stall = &m.stats.StallFetchMt
+	} else if fe.readyAt > m.now {
+		if fe.readyAt < target {
+			target = fe.readyAt
+		}
+	} else if !m.statelessChoose {
+		// SSA advances its round-robin counter inside Choose on every
+		// stall cycle; probing would disturb it. Step normally.
+		return false
+	} else {
+		var p dispatchPlan
+		if m.planDispatch(&p) != dispatchStall {
+			return false // head would dispatch: real work this cycle
+		}
+		stall = p.stall
+		if stall != &m.stats.StallROB && stall != &m.stats.StallLSQ {
+			// Post-steering stalls hold only while Choose is stable;
+			// Conv's DCOUNT decay is the one in-window input change.
+			if dc, ok := m.alg.(interface{ CyclesToDecay() uint64 }); ok {
+				if t := m.now + dc.CyclesToDecay(); t < target {
+					target = t
+				}
+			}
+		}
+	}
+
+	// The no-progress diagnostic must fire at its exact historical cycle.
+	if m.rob.Len() > 0 {
+		if t := m.lastCommitAt + noProgressLimit; t < target {
+			target = t
+		}
+	}
+	if maxCycles > 0 && target > maxCycles {
+		target = maxCycles
+	}
+	if target == neverAvail {
+		// Nothing bounds the window (an empty machine waiting on nothing);
+		// let the normal step loop handle it.
+		return false
+	}
+	if target <= m.now {
+		return false
+	}
+
+	k := target - m.now
+	if stall != nil {
+		*stall += k
+	}
+	m.alg.TickN(k)
+	m.now = target
+	m.fabric.Advance(m.now)
+	m.stats.Cycles = m.now - m.statsBase
+	return true
 }
 
 // Step advances the machine one cycle.

@@ -425,266 +425,325 @@ type regNeed struct {
 	kind    isa.RegFileKind
 }
 
+// commNeed is one communication requirement discovered at dispatch: which
+// operand needs to move and the cluster that sources the copy.
+type commNeed struct {
+	op  int
+	src int
+}
+
+// dispatchOutcome is planDispatch's verdict on the fetch-queue head.
+type dispatchOutcome uint8
+
+const (
+	// dispatchOK: every resource is available; applyDispatch may commit
+	// the plan.
+	dispatchOK dispatchOutcome = iota
+	// dispatchEmpty: the fetch queue is empty (StallFetchMt).
+	dispatchEmpty
+	// dispatchNotReady: the head is still in decode/steer latency.
+	dispatchNotReady
+	// dispatchStall: a resource is missing; plan.stall names the counter.
+	dispatchStall
+)
+
+// dispatchPlan is the planning state planDispatch hands to applyDispatch:
+// the renamed sources, the steering decision, and the resource needs the
+// checks validated. The steering request itself lives in m.steerReq.
+type dispatchPlan struct {
+	fe       *fetchEntry
+	srcIDs   [2]valueID
+	srcKinds [2]isa.RegFileKind
+	cl       int
+	side     *iqSide
+	needs    [3]regNeed
+	nNeeds   int
+	comms    [2]commNeed
+	nComms   int
+	stall    *uint64 // set on dispatchStall: the stats counter to bump
+}
+
+// planDispatch decides whether the fetch-queue head can dispatch this
+// cycle, filling p with everything applyDispatch needs. It performs no
+// machine mutation beyond the m.steerReq scratch area — except through
+// alg.Choose, which mutates round-robin state for SSA (the idle-cycle
+// fast-forward therefore only probes stateless-steering machines). The
+// check order is load-bearing: stateless policies test ROB/LSQ before
+// steering (a full-ROB cycle skips renaming entirely), SSA after, so its
+// in-Choose state advances exactly as often as before the refactor.
+func (m *Machine) planDispatch(p *dispatchPlan) dispatchOutcome {
+	fe := m.fetchQ.Peek()
+	if fe == nil {
+		return dispatchEmpty
+	}
+	if fe.readyAt > m.now {
+		return dispatchNotReady
+	}
+	if m.statelessChoose {
+		if m.rob.Full() {
+			p.stall = &m.stats.StallROB
+			return dispatchStall
+		}
+		if fe.class.IsMem() && m.lsq.Full() {
+			p.stall = &m.stats.StallLSQ
+			return dispatchStall
+		}
+	}
+	// Rename sources. The request lives on the machine: passing a
+	// stack-local through the Algorithm interface would heap-allocate
+	// once per steering decision. Resetting the count suffices —
+	// consumers never read Ops beyond NumOps.
+	req := &m.steerReq
+	req.NumOps = 0
+	for i := 0; i < int(fe.numSrcs); i++ {
+		r := fe.src[i]
+		if r.IsZero() {
+			continue
+		}
+		vid := m.renameMap[r.Kind][r.Idx]
+		v := m.vals.get(vid)
+		req.Ops[req.NumOps] = steering.Operand{Mask: v.copyMask, Pending: !v.produced}
+		p.srcIDs[req.NumOps] = vid
+		p.srcKinds[req.NumOps] = r.Kind
+		req.NumOps++
+	}
+	req.Kind = isa.IntReg
+	if fe.writesReg {
+		req.Kind = fe.dest.Kind
+	}
+
+	cl := m.alg.Choose(m, req)
+
+	// Global structures.
+	if m.rob.Full() {
+		p.stall = &m.stats.StallROB
+		return dispatchStall
+	}
+	if fe.class.IsMem() && m.lsq.Full() {
+		p.stall = &m.stats.StallLSQ
+		return dispatchStall
+	}
+	side := &m.iqInt[cl]
+	if fe.class.IsFP() {
+		side = &m.iqFP[cl]
+	}
+	if side.count >= side.cap {
+		p.stall = &m.stats.StallIQ
+		return dispatchStall
+	}
+
+	// Discover register and comm-queue needs (checked before any
+	// allocation so a stall leaks nothing).
+	p.nNeeds = 0
+	if fe.writesReg {
+		p.needs[p.nNeeds] = regNeed{m.visibleCluster(cl), fe.dest.Kind}
+		p.nNeeds++
+	}
+	p.nComms = 0
+	for i := 0; i < req.NumOps; i++ {
+		if i > 0 && p.srcIDs[i] == p.srcIDs[0] {
+			continue // both operands read the same value: one comm suffices
+		}
+		mask := req.Ops[i].Mask
+		if mask == 0 || mask&(1<<uint(cl)) != 0 {
+			continue // readable in cl (or everywhere); no comm
+		}
+		src := m.nearestCopy(mask, cl)
+		p.comms[p.nComms] = commNeed{op: i, src: src}
+		p.nComms++
+		p.needs[p.nNeeds] = regNeed{cl, p.srcKinds[i]}
+		p.nNeeds++
+	}
+	for i := 0; i < p.nNeeds; i++ {
+		needed := 1
+		for j := 0; j < i; j++ {
+			if p.needs[j] == p.needs[i] {
+				needed++
+			}
+		}
+		if m.files.Free(p.needs[i].cluster, p.needs[i].kind) < needed {
+			p.stall = &m.stats.StallRegs
+			return dispatchStall
+		}
+	}
+	for i := 0; i < p.nComms; i++ {
+		needed := 1
+		for j := 0; j < i; j++ {
+			if p.comms[j].src == p.comms[i].src {
+				needed++
+			}
+		}
+		if m.commQ[p.comms[i].src].Free() < needed {
+			p.stall = &m.stats.StallComm
+			return dispatchStall
+		}
+	}
+	p.fe, p.cl, p.side = fe, cl, side
+	return dispatchOK
+}
+
 // dispatch renames, steers and inserts instructions into the back end, in
 // order, up to the dispatch width, stalling at the first instruction whose
 // chosen cluster lacks a resource (paper Section 3.1: "if the chosen
 // cluster is full, then the dispatch stage is stalled").
 func (m *Machine) dispatch() {
+	var p dispatchPlan
 	for n := 0; n < m.cfg.DispatchWidth; n++ {
-		fe := m.fetchQ.Peek()
-		if fe == nil {
+		switch m.planDispatch(&p) {
+		case dispatchEmpty:
 			m.stats.StallFetchMt++
 			return
-		}
-		if fe.readyAt > m.now {
+		case dispatchNotReady:
+			return
+		case dispatchStall:
+			*p.stall++
 			return
 		}
-		// The ROB and LSQ checks do not depend on the chosen cluster, so
-		// with a stateless steering policy a full-ROB stall cycle skips
-		// renaming and steering entirely. SSA advances its round-robin
-		// counter inside Choose, so it must keep the original order (the
-		// same checks are repeated after Choose).
-		if m.statelessChoose {
-			if m.rob.Full() {
-				m.stats.StallROB++
-				return
-			}
-			if fe.class.IsMem() && m.lsq.Full() {
-				m.stats.StallLSQ++
-				return
-			}
-		}
-		// Rename sources. The request lives on the machine: passing a
-		// stack-local through the Algorithm interface would heap-allocate
-		// once per steering decision. Resetting the count suffices —
-		// consumers never read Ops beyond NumOps.
-		req := &m.steerReq
-		req.NumOps = 0
-		var srcIDs [2]valueID
-		var srcKinds [2]isa.RegFileKind
-		for i := 0; i < int(fe.numSrcs); i++ {
-			r := fe.src[i]
-			if r.IsZero() {
-				continue
-			}
-			vid := m.renameMap[r.Kind][r.Idx]
-			v := m.vals.get(vid)
-			req.Ops[req.NumOps] = steering.Operand{Mask: v.copyMask, Pending: !v.produced}
-			srcIDs[req.NumOps] = vid
-			srcKinds[req.NumOps] = r.Kind
-			req.NumOps++
-		}
-		req.Kind = isa.IntReg
-		if fe.writesReg {
-			req.Kind = fe.dest.Kind
-		}
-
-		cl := m.alg.Choose(m, req)
-
-		// Global structures.
-		if m.rob.Full() {
-			m.stats.StallROB++
-			return
-		}
-		if fe.class.IsMem() && m.lsq.Full() {
-			m.stats.StallLSQ++
-			return
-		}
-		side := &m.iqInt[cl]
-		if fe.class.IsFP() {
-			side = &m.iqFP[cl]
-		}
-		if side.count >= side.cap {
-			m.stats.StallIQ++
-			return
-		}
-
-		// Discover register and comm-queue needs (checked before any
-		// allocation so a stall leaks nothing).
-		var needs [3]regNeed
-		nNeeds := 0
-		if fe.writesReg {
-			needs[nNeeds] = regNeed{m.visibleCluster(cl), fe.dest.Kind}
-			nNeeds++
-		}
-		type commNeed struct {
-			op  int
-			src int
-		}
-		var comms [2]commNeed
-		nComms := 0
-		for i := 0; i < req.NumOps; i++ {
-			if i > 0 && srcIDs[i] == srcIDs[0] {
-				continue // both operands read the same value: one comm suffices
-			}
-			mask := req.Ops[i].Mask
-			if mask == 0 || mask&(1<<uint(cl)) != 0 {
-				continue // readable in cl (or everywhere); no comm
-			}
-			src := m.nearestCopy(mask, cl)
-			comms[nComms] = commNeed{op: i, src: src}
-			nComms++
-			needs[nNeeds] = regNeed{cl, srcKinds[i]}
-			nNeeds++
-		}
-		for i := 0; i < nNeeds; i++ {
-			needed := 1
-			for j := 0; j < i; j++ {
-				if needs[j] == needs[i] {
-					needed++
-				}
-			}
-			if m.files.Free(needs[i].cluster, needs[i].kind) < needed {
-				m.stats.StallRegs++
-				return
-			}
-		}
-		for i := 0; i < nComms; i++ {
-			needed := 1
-			for j := 0; j < i; j++ {
-				if comms[j].src == comms[i].src {
-					needed++
-				}
-			}
-			if m.commQ[comms[i].src].Free() < needed {
-				m.stats.StallComm++
-				return
-			}
-		}
-
-		// All resources available: perform the dispatch. The ROB slot is
-		// claimed up front and the entry is built in place.
-		robIdx := m.rob.Tail()
-		ep, pushed := m.rob.PushRef()
-		if !pushed {
-			panic("core: ROB slot vanished after check")
-		}
-		*ep = robEntry{
-			seq:        fe.seq,
-			class:      fe.class,
-			cluster:    int8(cl),
-			stream:     fe.stream,
-			state:      robWaiting,
-			destVal:    noValue,
-			prevVal:    noValue,
-			effAddr:    fe.effAddr,
-			mispredict: fe.mispredict,
-		}
-		for i := 0; i < req.NumOps; i++ {
-			ep.srcVals[i] = srcIDs[i]
-		}
-		ep.numSrcs = int8(req.NumOps)
-
-		for i := 0; i < nComms; i++ {
-			c := comms[i]
-			v := m.vals.get(srcIDs[c.op])
-			if !m.files.Alloc(cl, srcKinds[c.op]) {
-				panic("core: copy register vanished after check")
-			}
-			v.copyMask |= 1 << uint(cl)
-			v.allocMask |= 1 << uint(cl)
-			if m.cfg.Copies == ReleaseOnRead {
-				v.readers[c.src]++ // the communication itself reads at its source
-			}
-			ce := commEntry{val: srcIDs[c.op], src: int8(c.src), dst: int8(cl)}
-			if a := v.avail[c.src]; a == neverAvail {
-				ce.eligibleAt = neverAvail
-				v.commWaitMask |= 1 << uint(c.src)
-			} else {
-				ce.eligibleAt = a
-			}
-			if ce.eligibleAt < m.commNextEligible[c.src] {
-				m.commNextEligible[c.src] = ce.eligibleAt
-			}
-			if ce.eligibleAt < m.commGlobalEligible {
-				m.commGlobalEligible = ce.eligibleAt
-			}
-			if !m.commQ[c.src].Push(ce) {
-				panic("core: comm queue slot vanished after check")
-			}
-			m.stats.Comms++
-			m.streamStats[fe.stream].Comms++
-		}
-		if m.cfg.Copies == ReleaseOnRead {
-			for i := 0; i < req.NumOps; i++ {
-				m.vals.get(srcIDs[i]).readers[cl]++
-			}
-		}
-
-		if fe.writesReg {
-			home := m.visibleCluster(cl)
-			if !m.files.Alloc(home, fe.dest.Kind) {
-				panic("core: destination register vanished after check")
-			}
-			vid := m.vals.alloc(fe.dest.Kind)
-			v := m.vals.get(vid)
-			v.copyMask = 1 << uint(home)
-			v.allocMask = 1 << uint(home)
-			v.home = int8(home)
-			ep.destVal = vid
-			ep.destKind = fe.dest.Kind
-			ep.prevVal = m.renameMap[fe.dest.Kind][fe.dest.Idx]
-			m.renameMap[fe.dest.Kind][fe.dest.Idx] = vid
-		}
-
-		if fe.class.IsMem() {
-			lsqIdx, ok := m.lsq.Push(lsqEntry{robIdx: robIdx, addr: fe.effAddr, isStore: fe.class == isa.Store})
-			if !ok {
-				panic("core: LSQ slot vanished after check")
-			}
-			ep.hasLSQ = true
-			ep.lsqIdx = lsqIdx
-			if fe.class == isa.Store {
-				m.lastStore[fe.effAddr] = lsqIdx
-			} else if dep, found := m.lastStore[fe.effAddr]; found {
-				// The youngest older store to this address; all older
-				// same-address stores commit before it, so if it has left
-				// the LSQ by issue time the load goes to the cache.
-				ep.hasDep, ep.depLSQ = true, dep
-			}
-		}
-
-		// Insert into the issue queue: resolve each source's availability
-		// cycle in cl now, registering a wakeup on values whose cycle is
-		// still unknown. Entries with fully known timing go straight into
-		// the issue calendar and are never rescanned while they wait.
-		re := ep
-		for i := 0; i < int(re.numSrcs); i++ {
-			sv := re.srcVals[i]
-			if sv == noValue {
-				continue
-			}
-			v := m.vals.get(sv)
-			if a := v.avail[cl]; a == neverAvail {
-				v.waiters = append(v.waiters, iqWaiter{robIdx: robIdx, cluster: int8(cl)})
-				re.waitSrcs++
-			} else if a > re.readyAt {
-				re.readyAt = a
-			}
-		}
-		side.count++
-		if re.waitSrcs == 0 {
-			t := re.readyAt
-			if t <= m.now {
-				// Already readable: eligible from the next cycle (issue
-				// precedes dispatch within a cycle).
-				t = m.now + 1
-			}
-			m.scheduleIQ(robIdx, t)
-		}
-
-		m.alg.OnDispatch(cl)
-		m.stats.Dispatched++
-		m.streamStats[fe.stream].Dispatched++
-		m.stats.PerCluster[cl]++
-		if u := uint64(m.files.TotalUsed(isa.IntReg)); u > m.stats.PeakRegsInt {
-			m.stats.PeakRegsInt = u
-		}
-		if u := uint64(m.files.TotalUsed(isa.FPReg)); u > m.stats.PeakRegsFP {
-			m.stats.PeakRegsFP = u
-		}
-		m.fetchQ.Drop()
+		m.applyDispatch(&p)
 	}
+}
+
+// applyDispatch performs the dispatch a successful planDispatch validated:
+// claims the ROB slot, allocates registers and communications, links the
+// LSQ and wakeup structures. Resource checks already passed, so every
+// allocation here must succeed.
+func (m *Machine) applyDispatch(p *dispatchPlan) {
+	fe, cl, side := p.fe, p.cl, p.side
+	req := &m.steerReq
+	srcIDs := &p.srcIDs
+	srcKinds := &p.srcKinds
+
+	// The ROB slot is claimed up front and the entry is built in place.
+	robIdx := m.rob.Tail()
+	ep, pushed := m.rob.PushRef()
+	if !pushed {
+		panic("core: ROB slot vanished after check")
+	}
+	*ep = robEntry{
+		seq:        fe.seq,
+		class:      fe.class,
+		cluster:    int8(cl),
+		stream:     fe.stream,
+		state:      robWaiting,
+		destVal:    noValue,
+		prevVal:    noValue,
+		effAddr:    fe.effAddr,
+		mispredict: fe.mispredict,
+	}
+	for i := 0; i < req.NumOps; i++ {
+		ep.srcVals[i] = srcIDs[i]
+	}
+	ep.numSrcs = int8(req.NumOps)
+
+	for i := 0; i < p.nComms; i++ {
+		c := p.comms[i]
+		v := m.vals.get(srcIDs[c.op])
+		if !m.files.Alloc(cl, srcKinds[c.op]) {
+			panic("core: copy register vanished after check")
+		}
+		v.copyMask |= 1 << uint(cl)
+		v.allocMask |= 1 << uint(cl)
+		if m.cfg.Copies == ReleaseOnRead {
+			v.readers[c.src]++ // the communication itself reads at its source
+		}
+		ce := commEntry{val: srcIDs[c.op], src: int8(c.src), dst: int8(cl)}
+		if a := v.avail[c.src]; a == neverAvail {
+			ce.eligibleAt = neverAvail
+			v.commWaitMask |= 1 << uint(c.src)
+		} else {
+			ce.eligibleAt = a
+		}
+		if ce.eligibleAt < m.commNextEligible[c.src] {
+			m.commNextEligible[c.src] = ce.eligibleAt
+		}
+		if ce.eligibleAt < m.commGlobalEligible {
+			m.commGlobalEligible = ce.eligibleAt
+		}
+		if !m.commQ[c.src].Push(ce) {
+			panic("core: comm queue slot vanished after check")
+		}
+		m.stats.Comms++
+		m.streamStats[fe.stream].Comms++
+	}
+	if m.cfg.Copies == ReleaseOnRead {
+		for i := 0; i < req.NumOps; i++ {
+			m.vals.get(srcIDs[i]).readers[cl]++
+		}
+	}
+
+	if fe.writesReg {
+		home := m.visibleCluster(cl)
+		if !m.files.Alloc(home, fe.dest.Kind) {
+			panic("core: destination register vanished after check")
+		}
+		vid := m.vals.alloc(fe.dest.Kind)
+		v := m.vals.get(vid)
+		v.copyMask = 1 << uint(home)
+		v.allocMask = 1 << uint(home)
+		v.home = int8(home)
+		ep.destVal = vid
+		ep.destKind = fe.dest.Kind
+		ep.prevVal = m.renameMap[fe.dest.Kind][fe.dest.Idx]
+		m.renameMap[fe.dest.Kind][fe.dest.Idx] = vid
+	}
+
+	if fe.class.IsMem() {
+		lsqIdx, ok := m.lsq.Push(lsqEntry{robIdx: robIdx, addr: fe.effAddr, isStore: fe.class == isa.Store})
+		if !ok {
+			panic("core: LSQ slot vanished after check")
+		}
+		ep.hasLSQ = true
+		ep.lsqIdx = lsqIdx
+		if fe.class == isa.Store {
+			m.lastStore[fe.effAddr] = lsqIdx
+		} else if dep, found := m.lastStore[fe.effAddr]; found {
+			// The youngest older store to this address; all older
+			// same-address stores commit before it, so if it has left
+			// the LSQ by issue time the load goes to the cache.
+			ep.hasDep, ep.depLSQ = true, dep
+		}
+	}
+
+	// Insert into the issue queue: resolve each source's availability
+	// cycle in cl now, registering a wakeup on values whose cycle is
+	// still unknown. Entries with fully known timing go straight into
+	// the issue calendar and are never rescanned while they wait.
+	re := ep
+	for i := 0; i < int(re.numSrcs); i++ {
+		sv := re.srcVals[i]
+		if sv == noValue {
+			continue
+		}
+		v := m.vals.get(sv)
+		if a := v.avail[cl]; a == neverAvail {
+			v.waiters = append(v.waiters, iqWaiter{robIdx: robIdx, cluster: int8(cl)})
+			re.waitSrcs++
+		} else if a > re.readyAt {
+			re.readyAt = a
+		}
+	}
+	side.count++
+	if re.waitSrcs == 0 {
+		t := re.readyAt
+		if t <= m.now {
+			// Already readable: eligible from the next cycle (issue
+			// precedes dispatch within a cycle).
+			t = m.now + 1
+		}
+		m.scheduleIQ(robIdx, t)
+	}
+
+	m.alg.OnDispatch(cl)
+	m.stats.Dispatched++
+	m.streamStats[fe.stream].Dispatched++
+	m.stats.PerCluster[cl]++
+	if u := uint64(m.files.TotalUsed(isa.IntReg)); u > m.stats.PeakRegsInt {
+		m.stats.PeakRegsInt = u
+	}
+	if u := uint64(m.files.TotalUsed(isa.FPReg)); u > m.stats.PeakRegsFP {
+		m.stats.PeakRegsFP = u
+	}
+	m.fetchQ.Drop()
 }
 
 // nearestCopy returns the cluster holding a copy of the value (per mask)
@@ -747,8 +806,10 @@ func (m *Machine) fetch() {
 	}
 	for fetched := 0; fetched < m.cfg.FetchWidth && !m.fetchQ.Full(); {
 		var in *isa.Inst
+		var oflags uint8
 		if sfe.havePending {
 			in = &sfe.pendingInst
+			oflags = sfe.pendingFlags
 			sfe.havePending = false
 		} else {
 			if sfe.streamDone {
@@ -774,18 +835,34 @@ func (m *Machine) fetch() {
 				sfe.scratchInst = v
 				in = &sfe.scratchInst
 			}
-			line := (in.PC + sfe.off) >> m.lineShift
-			if !sfe.haveFetchLine || line != sfe.lastFetchLine {
-				lat := m.mem.InstFetch(in.PC + sfe.off)
-				sfe.lastFetchLine = line
-				sfe.haveFetchLine = true
-				if lat > m.cfg.Mem.L1I.HitLatency {
-					// Miss: the line arrives later; hold the
-					// instruction and resume then.
+			if m.oracle != nil {
+				// Shared front-end oracle: the L1I lookup outcome was
+				// precomputed over the materialized trace; only a miss
+				// touches this machine (the L2 refill).
+				oflags = m.oracle.flags[m.oracleIdx]
+				m.oracleIdx++
+				if oflags&oracleMiss != 0 {
+					lat := m.mem.InstRefill(in.PC)
 					sfe.pendingInst = *in
+					sfe.pendingFlags = oflags
 					sfe.havePending = true
 					sfe.fetchResumeAt = m.now + uint64(lat)
 					return
+				}
+			} else {
+				line := (in.PC + sfe.off) >> m.lineShift
+				if !sfe.haveFetchLine || line != sfe.lastFetchLine {
+					lat := m.mem.InstFetch(in.PC + sfe.off)
+					sfe.lastFetchLine = line
+					sfe.haveFetchLine = true
+					if lat > m.cfg.Mem.L1I.HitLatency {
+						// Miss: the line arrives later; hold the
+						// instruction and resume then.
+						sfe.pendingInst = *in
+						sfe.havePending = true
+						sfe.fetchResumeAt = m.now + uint64(lat)
+						return
+					}
 				}
 			}
 		}
@@ -808,11 +885,15 @@ func (m *Machine) fetch() {
 		fetched++
 		sfe.inFlight++
 		if in.Class.IsBranch() {
-			tgt := in.Target
-			if in.Taken {
-				tgt += sfe.off
+			if m.oracle != nil {
+				fe.mispredict = oflags&oracleMispredict != 0
+			} else {
+				tgt := in.Target
+				if in.Taken {
+					tgt += sfe.off
+				}
+				fe.mispredict = m.pred.Update(in.PC+sfe.off, in.Taken, tgt)
 			}
-			fe.mispredict = m.pred.Update(in.PC+sfe.off, in.Taken, tgt)
 			if fe.mispredict {
 				sfe.fetchBlocked = true
 				return

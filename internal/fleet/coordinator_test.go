@@ -331,3 +331,94 @@ func TestPoisonedJobParksAfterAttemptCap(t *testing.T) {
 		t.Fatal("completion rejected after clean re-enqueue")
 	}
 }
+
+// testJobFor builds a verifiable job for one (program, config-variant)
+// pair, so grouping tests can interleave workloads across distinct keys.
+func testJobFor(t *testing.T, program string, clusters, iw int) results.Job {
+	t.Helper()
+	req := results.NewRequest(harness.Request{
+		Config:   core.MustPaperConfig(core.ArchRing, clusters, iw, 1),
+		Workload: workload.Single(program),
+		Insts:    1000,
+		Warmup:   100,
+	})
+	j, err := results.NewJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestLeaseGroupsByWorkload pins lease-time workload grouping: after the
+// FIFO head, every pending job sharing the head's workload joins the
+// grant, so a worker receives runs it can execute as one batched lockstep
+// group over a single materialized trace.
+func TestLeaseGroupsByWorkload(t *testing.T) {
+	c, _ := newTestCoordinator(t, time.Minute)
+	reg, err := c.Register("w1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Config-major interleave, the order a naive sweep would enqueue:
+	// gcc, swim, gcc, swim, gcc.
+	for _, v := range []struct {
+		prog   string
+		cl, iw int
+	}{
+		{"gcc", 4, 1}, {"swim", 4, 1}, {"gcc", 4, 2}, {"swim", 4, 2}, {"gcc", 8, 2},
+	} {
+		if !c.Enqueue(testJobFor(t, v.prog, v.cl, v.iw)) {
+			t.Fatalf("enqueue %s refused", v.prog)
+		}
+	}
+
+	got, err := c.Lease(reg.WorkerID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("leased %d jobs, want 3", len(got))
+	}
+	for i, j := range got {
+		if lbl := j.Request.WorkloadLabel(); lbl != "gcc" {
+			t.Errorf("grant %d is %s, want gcc (grouped with the head)", i, lbl)
+		}
+	}
+
+	// The remainder is the other workload, likewise granted together.
+	got, err = c.Lease(reg.WorkerID, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("second lease got %d jobs, want 2", len(got))
+	}
+	for i, j := range got {
+		if lbl := j.Request.WorkloadLabel(); lbl != "swim" {
+			t.Errorf("second grant %d is %s, want swim", i, lbl)
+		}
+	}
+}
+
+// TestNextBatchGroupsByWorkload pins the local executor's pop: the head
+// plus every pending job sharing its workload, up to max.
+func TestNextBatchGroupsByWorkload(t *testing.T) {
+	c, _ := newTestCoordinator(t, time.Minute)
+	c.Enqueue(testJobFor(t, "gcc", 4, 1))
+	c.Enqueue(testJobFor(t, "swim", 4, 1))
+	c.Enqueue(testJobFor(t, "gcc", 4, 2))
+
+	jobs, ok := c.NextBatch(8)
+	if !ok || len(jobs) != 2 {
+		t.Fatalf("NextBatch = %d jobs, ok=%v; want 2 gcc jobs", len(jobs), ok)
+	}
+	for i, j := range jobs {
+		if lbl := j.Request.WorkloadLabel(); lbl != "gcc" {
+			t.Errorf("batch member %d is %s, want gcc", i, lbl)
+		}
+	}
+	jobs, ok = c.NextBatch(8)
+	if !ok || len(jobs) != 1 || jobs[0].Request.WorkloadLabel() != "swim" {
+		t.Fatalf("second NextBatch = %+v, ok=%v; want the swim job", jobs, ok)
+	}
+}

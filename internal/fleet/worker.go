@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/results"
+	"repro/internal/trace"
 )
 
 // WorkerOptions configures a fleet worker.
@@ -29,6 +30,11 @@ type WorkerOptions struct {
 	// Capacity is how many simulations run concurrently.
 	// Default: GOMAXPROCS.
 	Capacity int
+	// Batch is the per-group member cap for batched lockstep execution
+	// of a leased batch: jobs sharing a workload advance together over
+	// one materialized trace (see harness.ExecuteBatch). 0 picks
+	// harness.DefaultBatchSize; 1 disables grouping.
+	Batch int
 	// Store optionally fronts the worker with its own result cache
 	// (typically a disk store shared across worker restarts): a leased
 	// key already present is completed without simulating.
@@ -53,6 +59,12 @@ type WorkerStats struct {
 	Completed uint64
 	// Rejected counts records the coordinator refused (late duplicates).
 	Rejected uint64
+	// TraceFetches counts materialized traces fetched from the
+	// coordinator instead of regenerated locally.
+	TraceFetches uint64
+	// TraceRegens counts lease-referenced traces the worker had to
+	// generate locally (fetch failed or the coordinator had none).
+	TraceRegens uint64
 }
 
 // Worker pulls leased jobs from a coordinator, executes them through
@@ -70,17 +82,22 @@ type Worker struct {
 	ttl time.Duration
 	hb  time.Duration
 
-	leased    atomic.Uint64
-	executed  atomic.Uint64
-	cacheHits atomic.Uint64
-	completed atomic.Uint64
-	rejected  atomic.Uint64
+	leased       atomic.Uint64
+	executed     atomic.Uint64
+	cacheHits    atomic.Uint64
+	completed    atomic.Uint64
+	rejected     atomic.Uint64
+	traceFetches atomic.Uint64
+	traceRegens  atomic.Uint64
 }
 
 // NewWorker builds a worker; Run starts it.
 func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Capacity <= 0 {
 		opts.Capacity = runtime.GOMAXPROCS(0)
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = harness.DefaultBatchSize()
 	}
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 500 * time.Millisecond
@@ -97,11 +114,13 @@ func NewWorker(opts WorkerOptions) *Worker {
 // Stats snapshots the worker's counters.
 func (w *Worker) Stats() WorkerStats {
 	return WorkerStats{
-		Leased:    w.leased.Load(),
-		Executed:  w.executed.Load(),
-		CacheHits: w.cacheHits.Load(),
-		Completed: w.completed.Load(),
-		Rejected:  w.rejected.Load(),
+		Leased:       w.leased.Load(),
+		Executed:     w.executed.Load(),
+		CacheHits:    w.cacheHits.Load(),
+		Completed:    w.completed.Load(),
+		Rejected:     w.rejected.Load(),
+		TraceFetches: w.traceFetches.Load(),
+		TraceRegens:  w.traceRegens.Load(),
 	}
 }
 
@@ -127,7 +146,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		jobs, err := w.lease(ctx)
+		jobs, traces, err := w.lease(ctx)
 		switch {
 		case err == ErrUnknownWorker:
 			w.opts.Logf("fleet worker %s: registration lost, re-registering", w.workerID())
@@ -152,6 +171,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		w.leased.Add(uint64(len(jobs)))
+		w.prefetchTraces(ctx, traces)
 		batch := w.executeBatch(ctx, jobs)
 		if len(batch) == 0 {
 			continue // canceled mid-batch
@@ -194,28 +214,102 @@ func (w *Worker) workerID() string {
 	return w.id
 }
 
-// executeBatch runs the leased jobs capacity-wide and returns their
-// records in lease order. A context cancellation mid-batch returns only
-// the finished prefix's records (the rest requeue via lease expiry).
+// prefetchTraces pulls the lease's referenced trace prefixes from the
+// coordinator into the process-wide trace cache before execution begins:
+// one HTTP fetch per distinct trace replaces one generation pass per
+// trace, and the leased jobs then group over the installed prefix. A
+// trace already materialized locally costs nothing; a failed fetch (older
+// coordinator, network, budget) is counted as a regeneration and the
+// execution path generates it locally with identical results.
+func (w *Worker) prefetchTraces(ctx context.Context, refs []TraceRef) {
+	if len(refs) == 0 {
+		return
+	}
+	var fetched, regen int
+	for _, ref := range refs {
+		if ctx.Err() != nil {
+			return
+		}
+		if harness.DefaultTraceCache.MaterializedLen(ref.Program, ref.Seed) >= ref.Insts {
+			continue
+		}
+		if w.fetchTrace(ctx, ref) {
+			w.traceFetches.Add(1)
+			fetched++
+		} else {
+			w.traceRegens.Add(1)
+			regen++
+		}
+	}
+	if fetched > 0 || regen > 0 {
+		w.opts.Logf("fleet worker %s: trace prefetch: fetched=%d regenerated=%d",
+			w.workerID(), fetched, regen)
+	}
+}
+
+// fetchTrace retrieves one materialized trace prefix and installs it in
+// the trace cache, reporting success.
+func (w *Worker) fetchTrace(ctx context.Context, ref TraceRef) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.opts.Coordinator+"/v1/fleet/trace/"+ref.Key(), nil)
+	if err != nil {
+		return false
+	}
+	if w.opts.Secret != "" {
+		req.Header.Set(SecretHeader, w.opts.Secret)
+	}
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	tr, err := trace.NewReader(resp.Body)
+	if err != nil {
+		return false
+	}
+	insts, err := trace.Collect(tr, int(ref.Insts))
+	if err != nil || uint64(len(insts)) < ref.Insts {
+		// A truncated body is not installed as-is: the lease needs the
+		// full prefix, so count this as a regeneration.
+		return false
+	}
+	return harness.DefaultTraceCache.Install(ref.Program, ref.Seed, insts)
+}
+
+// executeBatch runs the leased jobs and returns their records in lease
+// order: first a store pass (a leased key already cached completes
+// without simulating), then the rest as batched lockstep groups — jobs
+// sharing a workload advance together over one materialized trace, with
+// group-level parallelism bounded by the worker's capacity.
 func (w *Worker) executeBatch(ctx context.Context, jobs []results.Job) []results.Result {
 	out := make([]results.Result, len(jobs))
 	done := make([]bool, len(jobs))
-	sem := make(chan struct{}, w.opts.Capacity)
-	var wg sync.WaitGroup
+	var todo []int
 	for i, jb := range jobs {
-		if ctx.Err() != nil {
-			break
+		if w.opts.Store != nil {
+			if res, hit, err := w.opts.Store.Get(jb.Key); err == nil && hit {
+				w.cacheHits.Add(1)
+				out[i] = res
+				done[i] = true
+				continue
+			}
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, jb results.Job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = w.executeJob(jb)
-			done[i] = true
-		}(i, jb)
+		todo = append(todo, i)
 	}
-	wg.Wait()
+	if len(todo) > 0 && ctx.Err() == nil {
+		reqs := make([]harness.Request, len(todo))
+		for k, i := range todo {
+			reqs[k] = jobs[i].Request.Harness()
+		}
+		runs := harness.GridRunsN(reqs, w.opts.Batch, w.opts.Capacity)
+		for k, i := range todo {
+			out[i] = w.settleRun(jobs[i], reqs[k], runs[k])
+			done[i] = true
+		}
+	}
 	batch := make([]results.Result, 0, len(jobs))
 	for i := range out {
 		if done[i] {
@@ -225,19 +319,11 @@ func (w *Worker) executeBatch(ctx context.Context, jobs []results.Job) []results
 	return batch
 }
 
-// executeJob resolves one job: from the worker's own store when present,
-// otherwise by simulating. The record's recomputed key must match the
-// lease — a mismatch (schema drift between coordinator and worker
-// binaries) is returned as a failed record rather than poisoning a cache.
-func (w *Worker) executeJob(jb results.Job) results.Result {
-	if w.opts.Store != nil {
-		if res, hit, err := w.opts.Store.Get(jb.Key); err == nil && hit {
-			w.cacheHits.Add(1)
-			return res
-		}
-	}
-	req := jb.Request.Harness()
-	run := harness.Execute(req)
+// settleRun converts one finished simulation into its wire record. The
+// record's recomputed key must match the lease — a mismatch (schema
+// drift between coordinator and worker binaries) is returned as a failed
+// record rather than poisoning a cache.
+func (w *Worker) settleRun(jb results.Job, req harness.Request, run harness.Run) results.Result {
 	res, err := results.FromRun(req, run)
 	if err != nil {
 		return results.Result{Key: jb.Key, Config: req.Config.Name, Program: jb.Request.WorkloadLabel(), Err: err.Error()}
@@ -297,26 +383,30 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-// lease pulls the next batch. The verified JobBatch decode rejects any
-// job whose key does not hash from its request.
-func (w *Worker) lease(ctx context.Context) ([]results.Job, error) {
+// lease pulls the next batch and its trace references. The JobBatch is
+// verified after decode: any job whose key does not hash from its
+// request is rejected.
+func (w *Worker) lease(ctx context.Context) ([]results.Job, []TraceRef, error) {
 	body, err := json.Marshal(LeaseRequest{WorkerID: w.workerID(), Max: 2 * w.opts.Capacity})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err := w.do(ctx, "/v1/fleet/lease", body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if err := checkStatus(resp); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	batch, err := results.DecodeJobBatch(resp.Body)
-	if err != nil {
-		return nil, err
+	var lr LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, nil, fmt.Errorf("fleet: decode lease: %w", err)
 	}
-	return batch.Jobs, nil
+	if err := lr.JobBatch.Verify(); err != nil {
+		return nil, nil, err
+	}
+	return lr.Jobs, lr.Traces, nil
 }
 
 // complete returns a batch of records.

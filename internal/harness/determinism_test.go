@@ -147,3 +147,79 @@ func TestTraceCacheBudgetFallback(t *testing.T) {
 		t.Fatalf("fallback stream yielded %d insts, want 1000", n)
 	}
 }
+
+// TestTraceCacheInstall covers the coordinator-served trace path: an
+// externally materialized prefix installed into the cache must (1) be
+// visible through MaterializedLen, (2) replay bit-identically to a fresh
+// generator, and (3) extend lazily — a request past the installed prefix
+// spins up a generator that continues it exactly.
+func TestTraceCacheInstall(t *testing.T) {
+	const prog = "gcc"
+	gen, err := workload.NewStream(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := trace.Collect(trace.NewLimit(gen, 3000), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := NewTraceCache(1 << 20)
+	if got := tc.MaterializedLen(prog, 0); got != 0 {
+		t.Fatalf("MaterializedLen before install = %d", got)
+	}
+	if !tc.Install(prog, 0, ref[:2000]) {
+		t.Fatal("install refused within budget")
+	}
+	if got := tc.MaterializedLen(prog, 0); got != 2000 {
+		t.Fatalf("MaterializedLen after install = %d, want 2000", got)
+	}
+
+	// Replay inside the installed prefix: no generation needed.
+	s, err := tc.Stream(prog, 0, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		got, err := s.Next()
+		if err != nil {
+			t.Fatalf("installed stream ended early at %d: %v", i, err)
+		}
+		if got != ref[i] {
+			t.Fatalf("inst %d: installed replay diverges from generator", i)
+		}
+	}
+
+	// A request past the installed prefix lazily regenerates the suffix,
+	// which must continue the prefix exactly.
+	s, err = tc.Stream(prog, 0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		got, err := s.Next()
+		if err != nil {
+			t.Fatalf("extended stream ended early at %d: %v", i, err)
+		}
+		if got != ref[i] {
+			t.Fatalf("inst %d: lazy extension diverges from generator", i)
+		}
+	}
+	if got := tc.MaterializedLen(prog, 0); got != 3000 {
+		t.Fatalf("MaterializedLen after extension = %d, want 3000", got)
+	}
+
+	// Re-installing a shorter or overlapping prefix never truncates.
+	if !tc.Install(prog, 0, ref[:1000]) {
+		t.Fatal("overlapping install refused")
+	}
+	if got := tc.MaterializedLen(prog, 0); got != 3000 {
+		t.Fatalf("MaterializedLen shrank to %d after overlapping install", got)
+	}
+
+	// Over-budget installs are refused, leaving generation to the caller.
+	small := NewTraceCache(100)
+	if small.Install(prog, 0, ref) {
+		t.Fatal("install accepted past the budget")
+	}
+}

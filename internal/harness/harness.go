@@ -153,15 +153,10 @@ func streamBudget(s workload.StreamSpec, def uint64) uint64 {
 	return def
 }
 
-// runUntilCommitted steps the machine until it has committed at least n
-// instructions (or drained).
+// runUntilCommitted runs the machine until it has committed at least n
+// instructions (or drained), fast-forwarding idle stall windows.
 func runUntilCommitted(m *core.Machine, n uint64) error {
-	for m.Committed() < n && !m.Done() {
-		if err := m.Step(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.RunCommitted(n)
 }
 
 // Expand turns a (configuration × workload) grid into the flat request
@@ -195,37 +190,29 @@ func ExpandSpecs(configs []core.Config, specs []workload.Spec, insts, warmup uin
 }
 
 // Grid runs every (config, workload) pair across a fixed worker pool and
-// returns results keyed by configuration name and workload label. The
-// pool size is min(GOMAXPROCS, requests) — a 10k-request grid runs on a
-// handful of goroutines instead of spawning one per request. The order of
-// workers is nondeterministic but each simulation is fully deterministic,
-// so the result set is reproducible.
+// returns results keyed by configuration name and workload label.
+// Requests sharing a workload run as one batched lockstep group (see
+// batch.go), so each workload's trace is materialized and front-end
+// annotated once for all configurations; workers pull whole groups, and
+// the pool size is min(GOMAXPROCS, groups). The order of workers is
+// nondeterministic but each simulation is fully deterministic, so the
+// result set is reproducible.
 func Grid(configs []core.Config, workloads []string, insts, warmup uint64) (map[Key]Run, error) {
+	return GridN(configs, workloads, insts, warmup, 0)
+}
+
+// GridN is Grid with an explicit per-group member cap for the batched
+// lockstep executor: 0 picks DefaultBatchSize, 1 disables grouping
+// entirely (every request simulates its own trace pass).
+func GridN(configs []core.Config, workloads []string, insts, warmup uint64, maxGroup int) (map[Key]Run, error) {
 	reqs, err := Expand(configs, workloads, insts, warmup)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Run, len(reqs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if maxGroup <= 0 {
+		maxGroup = DefaultBatchSize()
 	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
-					return
-				}
-				results[i] = Execute(reqs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	results := GridRuns(reqs, maxGroup)
 	out := make(map[Key]Run, len(results))
 	for _, r := range results {
 		if r.Err != nil {
@@ -234,6 +221,44 @@ func Grid(configs []core.Config, workloads []string, insts, warmup uint64) (map[
 		out[Key{Config: r.Config.Name, Workload: r.Workload}] = r
 	}
 	return out, nil
+}
+
+// GridRuns executes the requests across a worker pool with batched
+// lockstep grouping at the given per-group cap (1 disables grouping),
+// returning results in request order. It is the parallel core of Grid,
+// exposed so the server's sweep executor and the CLI can share it.
+func GridRuns(reqs []Request, maxGroup int) []Run {
+	return GridRunsN(reqs, maxGroup, runtime.GOMAXPROCS(0))
+}
+
+// GridRunsN is GridRuns with an explicit worker-pool size (fleet workers
+// bound it to their advertised capacity instead of GOMAXPROCS).
+func GridRunsN(reqs []Request, maxGroup, workers int) []Run {
+	results := make([]Run, len(reqs))
+	groups := requestGroups(reqs, maxGroup)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(groups) {
+					return
+				}
+				executeGroup(reqs, groups[gi], results)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // Metric extracts one scalar from a run's statistics.

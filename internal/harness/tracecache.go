@@ -140,6 +140,23 @@ func (tc *TraceCache) Stream(program string, seed, n uint64) (trace.Stream, erro
 	tc.mu.Unlock()
 
 	e.mu.Lock()
+	if uint64(len(e.insts)) < n && e.gen == nil {
+		// The entry was seeded by Install (a fetched trace) without a
+		// generator. Create one and fast-forward past the installed
+		// prefix — paid once, only when a request outgrows what was
+		// fetched; generation is deterministic, so the regenerated
+		// suffix continues the installed prefix exactly.
+		gen, err := workload.NewStream(program, seed)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		if _, err := trace.Skip(gen, uint64(len(e.insts))); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.gen = gen
+	}
 	for uint64(len(e.insts)) < n {
 		in, err := e.gen.Next()
 		if err != nil {
@@ -151,6 +168,65 @@ func (tc *TraceCache) Stream(program string, seed, n uint64) (trace.Stream, erro
 	s := e.insts[:n:n]
 	e.mu.Unlock()
 	return trace.NewSlice(s), nil
+}
+
+// MaterializedLen reports how many instructions of (program, seed) are
+// currently materialized. Fleet workers use it to skip fetching traces
+// they already hold.
+func (tc *TraceCache) MaterializedLen(program string, seed uint64) uint64 {
+	tc.mu.Lock()
+	e := tc.entries[streamKey{program: program, seed: seed}]
+	tc.mu.Unlock()
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return uint64(len(e.insts))
+}
+
+// Install seeds the cache with an externally materialized prefix of
+// (program, seed) — a trace fetched from a fleet coordinator — so
+// subsequent Stream calls replay it instead of generating. Installing
+// over an existing entry appends only the portion past what is already
+// materialized (published elements are never mutated, so outstanding
+// views stay valid; generation is deterministic, so the overlap is
+// bit-identical by construction). It reports false when the instruction
+// budget cannot admit the trace; the caller falls back to local
+// generation.
+func (tc *TraceCache) Install(program string, seed uint64, insts []isa.Inst) bool {
+	n := uint64(len(insts))
+	if n == 0 {
+		return true
+	}
+	key := streamKey{program: program, seed: seed}
+	tc.mu.Lock()
+	e := tc.entries[key]
+	if e == nil {
+		if tc.budget != 0 && tc.total+n > tc.budget {
+			tc.mu.Unlock()
+			return false
+		}
+		e = &traceEntry{reserved: n}
+		tc.entries[key] = e
+		tc.total += n
+	} else if n > e.reserved {
+		grow := n - e.reserved
+		if tc.budget != 0 && tc.total+grow > tc.budget {
+			tc.mu.Unlock()
+			return false
+		}
+		e.reserved = n
+		tc.total += grow
+	}
+	tc.mu.Unlock()
+
+	e.mu.Lock()
+	if uint64(len(e.insts)) < n {
+		e.insts = append(e.insts, insts[len(e.insts):]...)
+	}
+	e.mu.Unlock()
+	return true
 }
 
 // fresh builds the unshared fallback stream.

@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -257,5 +259,61 @@ func TestFleetOfZeroFallsBackLocally(t *testing.T) {
 	getJSON(t, hs.URL+"/v1/fleet", &fs)
 	if fs.Stats.Workers != 0 || len(fs.Workers) != 0 {
 		t.Errorf("fleet status: %+v", fs)
+	}
+}
+
+// TestFleetServesTracesForSharedWorkload is the coordinator-served-trace
+// acceptance path: a sweep whose members all share one (never before
+// materialized) workload, executed by a remote worker, must be satisfied
+// with coordinator trace fetches and zero local regenerations — and the
+// batch metrics rows must be exposed on /metrics.
+func TestFleetServesTracesForSharedWorkload(t *testing.T) {
+	_, hs := newFleetServer(t, results.NewMemoryLRU(256), fleet.CoordinatorOptions{})
+	w, _ := startWorker(t, hs.URL, "fetcher", nil)
+
+	// A seed no other test uses, so the process-wide trace cache is cold
+	// for this stream and the worker must fetch rather than skip.
+	configs := make([]map[string]any, 0, 10)
+	for _, c := range harness.PaperConfigs() {
+		configs = append(configs, map[string]any{"config": c})
+	}
+	body := map[string]any{
+		"configs":  configs,
+		"programs": []string{"synth(ilp=4,ws=16K)@880001"},
+		"insts":    testInsts,
+		"warmup":   testWarmup,
+	}
+	var sv sweepView
+	postJSON(t, hs.URL+"/v1/sweeps", body, http.StatusAccepted, &sv)
+	sv = pollSweep(t, hs.URL, sv.ID)
+	if sv.Status != statusDone || sv.Failed != 0 {
+		t.Fatalf("sweep: %+v", sv)
+	}
+
+	st := w.Stats()
+	if st.TraceFetches == 0 {
+		t.Error("worker fetched no traces from the coordinator")
+	}
+	if st.TraceRegens != 0 {
+		t.Errorf("worker regenerated %d traces despite the coordinator serving them", st.TraceRegens)
+	}
+	// The batch amortization counters are exposed for operators.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"ringsimd_batch_groups_total",
+		"ringsimd_batch_runs_total",
+		"ringsimd_batch_amortized_decodes_total",
+	} {
+		if !strings.Contains(string(metrics), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,11 @@ type Options struct {
 	// are refused with 503 (sweep members block-feed instead).
 	// Default: 256.
 	QueueDepth int
+	// Batch is the per-group member cap for batched lockstep execution:
+	// queued runs sharing a workload advance together over one
+	// materialized trace (see harness.ExecuteBatch). 0 picks
+	// harness.DefaultBatchSize; 1 disables grouping.
+	Batch int
 	// Store caches results by content hash. Default: a 4096-entry
 	// in-memory LRU.
 	Store results.Store
@@ -180,6 +186,13 @@ type Server struct {
 	// fleet is the remote-worker coordinator; nil outside fleet mode.
 	fleet      *fleet.Coordinator
 	dispatchWG sync.WaitGroup // the jobs→coordinator dispatcher
+
+	// traceRefs maps trace content keys handed out on leases to their
+	// references, so GET /v1/fleet/trace/{key} can materialize and serve
+	// them. Bounded; a dropped entry only costs a worker-side
+	// regeneration.
+	traceMu   sync.Mutex
+	traceRefs map[string]fleet.TraceRef
 }
 
 // New starts the worker pool and returns a ready server.
@@ -204,6 +217,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.MaxExplores <= 0 {
 		opts.MaxExplores = 256
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = harness.DefaultBatchSize()
 	}
 	s := &Server{
 		opts:          opts,
@@ -236,6 +252,8 @@ func New(opts Options) (*Server, error) {
 		s.mux.HandleFunc("POST /v1/fleet/complete", auth(s.handleFleetComplete))
 		s.mux.HandleFunc("POST /v1/fleet/heartbeat", auth(s.handleFleetHeartbeat))
 		s.mux.HandleFunc("GET /v1/fleet", auth(s.handleFleetStatus))
+		s.mux.HandleFunc("GET /v1/fleet/trace/{key}", auth(s.handleFleetTrace))
+		s.traceRefs = make(map[string]fleet.TraceRef)
 		// Several dispatchers keep store lookups (disk I/O on a warm
 		// cache-dir) off the critical path; job order is irrelevant —
 		// execution is unordered anyway and views assemble by key.
@@ -309,16 +327,120 @@ func (s *Server) Close() {
 }
 
 // worker consumes content keys from the queue and simulates them. After
-// Terminate it keeps draining so the channel close can proceed, but
-// executes nothing — the abandoned keys are the crash's debris, which
-// journal replay re-queues in the next process.
+// pulling one key it opportunistically drains whatever else is already
+// queued (up to the batch cap) so runs sharing a workload — adjacent in
+// the queue, since sweeps feed workload-major — execute as one batched
+// lockstep group over a single materialized trace. After Terminate it
+// keeps draining so the channel close can proceed, but executes nothing —
+// the abandoned keys are the crash's debris, which journal replay
+// re-queues in the next process.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for key := range s.jobs {
+		keys := []string{key}
+	drain:
+		for len(keys) < s.opts.Batch {
+			select {
+			case k, ok := <-s.jobs:
+				if !ok {
+					break drain
+				}
+				keys = append(keys, k)
+			default:
+				break drain
+			}
+		}
 		if s.killed.Load() {
 			continue
 		}
-		s.runOne(key)
+		s.runMany(keys)
+	}
+}
+
+// runMany resolves a batch of queued runs together: a store pass settles
+// cached keys, then the misses execute as batched lockstep groups (runs
+// sharing a workload over one materialized trace; singletons via the
+// plain path). Each run's settlement — registry, metrics, store
+// write-through, journal — is identical to runOne's.
+func (s *Server) runMany(keys []string) {
+	if len(keys) == 1 {
+		s.runOne(keys[0])
+		return
+	}
+	type pending struct {
+		key string
+		st  *runState
+	}
+	var pends []pending
+	for _, key := range keys {
+		s.mu.Lock()
+		st, ok := s.runs[key]
+		if !ok || st.status.terminal() {
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		if res, hit, err := s.opts.Store.Get(key); err == nil && hit {
+			s.mu.Lock()
+			if !st.status.terminal() {
+				s.finishLocked(st, res, true)
+			}
+			s.mu.Unlock()
+			s.metrics.CacheHits.Add(1)
+			s.journalComplete(key)
+			continue
+		}
+		pends = append(pends, pending{key: key, st: st})
+	}
+	if len(pends) == 0 {
+		return
+	}
+
+	now := time.Now()
+	reqs := make([]harness.Request, len(pends))
+	var queueAges []float64
+	s.mu.Lock()
+	for i, p := range pends {
+		reqs[i] = p.st.req
+		p.st.status = statusRunning
+		p.st.startedAt = now
+		if !p.st.queuedAt.IsZero() {
+			queueAges = append(queueAges, now.Sub(p.st.queuedAt).Seconds())
+		}
+	}
+	s.mu.Unlock()
+	for _, age := range queueAges {
+		s.histQueueAge.observe(age)
+	}
+	s.metrics.RunsStarted.Add(uint64(len(pends)))
+
+	began := time.Now()
+	runs := harness.ExecuteBatchN(reqs, s.opts.Batch)
+	// One observation per run at the batch's mean per-run latency, so the
+	// histogram's count still matches runs executed.
+	perRun := time.Since(began).Seconds() / float64(len(pends))
+	for range pends {
+		s.workerLatency.observe(localWorkerLabel, perRun)
+	}
+
+	for i, p := range pends {
+		req := reqs[i]
+		res, convErr := results.FromRun(req, runs[i])
+		if convErr != nil {
+			res = results.Result{Key: p.key, Config: req.Config.Name, Program: req.Workload.Name(), Err: convErr.Error()}
+		}
+		if res.Failed() {
+			s.metrics.RunsFailed.Add(1)
+		} else {
+			s.metrics.RunsCompleted.Add(1)
+			_ = s.opts.Store.Put(p.key, res)
+		}
+		s.mu.Lock()
+		if !p.st.status.terminal() {
+			s.finishLocked(p.st, res, false)
+		}
+		s.mu.Unlock()
+		s.journalComplete(p.key)
 	}
 }
 
@@ -742,6 +864,18 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(pending) > 0 {
+		// Feed workload-major: Expand is config-major, so adjacent queue
+		// entries would otherwise almost never share a workload and the
+		// workers' opportunistic batch drains could not group them into
+		// lockstep batches. Execution order is correctness-irrelevant
+		// (results assemble by key), so reorder freely.
+		label := make(map[string]string, len(keys))
+		for i, req := range reqs {
+			label[keys[i]] = req.Workload.Name()
+		}
+		sort.SliceStable(pending, func(a, b int) bool {
+			return label[pending[a]] < label[pending[b]]
+		})
 		// Under s.mu so Close (which flips closed under the same lock
 		// before waiting on feeders) cannot miss this feeder.
 		s.feederWG.Add(1)

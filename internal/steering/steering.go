@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"repro/internal/isa"
+	"repro/internal/regfile"
 )
 
 // View is the machine state a steering algorithm may consult.
@@ -75,6 +77,10 @@ type Algorithm interface {
 	OnDispatch(c int)
 	// Tick advances per-cycle state (e.g. DCOUNT decay).
 	Tick()
+	// TickN advances per-cycle state by n cycles at once, bit-identical
+	// to calling Tick n times. The core's idle-cycle fast-forward uses it
+	// to jump over provably inert stall windows.
+	TickN(n uint64)
 }
 
 // allMask returns a mask with bits 0..n-1 set.
@@ -110,8 +116,160 @@ func minDistTo(v View, mask uint32, dst int) int {
 	return best
 }
 
+// Tables holds mask-level geometry lookups for the steering inner loops:
+// the minimum hop count from any cluster in a copy mask to a destination,
+// and the two-operand candidate sets of the Ring and Conv distance rules,
+// which are pure functions of the two (normalized) operand masks. One
+// Tables value serves every machine with the same fabric geometry; they
+// are built once per distinct geometry and cached process-wide.
+type Tables struct {
+	n        int
+	maskDist []int8   // [mask*n + dst]: min hops to bring mask to dst
+	ringPair []uint16 // [m0<<n | m1]: Ring 2-op candidate mask (no common cluster)
+	convPair []uint16 // [m0<<n | m1]: Conv 2-op selected mask (no common cluster)
+}
+
+// maxTableClusters bounds the cluster count for which mask-indexed tables
+// are built; beyond it the pair tables would be too large and algorithms
+// fall back to the interface-driven paths.
+const maxTableClusters = 8
+
+var (
+	tablesMu    sync.Mutex
+	tablesCache = map[string]*Tables{}
+)
+
+// PrimeTables returns the lookup tables for an n-cluster fabric whose
+// pairwise minimum hop distances are given row-major by source
+// (minDist[src*n+dst]), building and caching them on first use. It
+// returns nil when n exceeds the supported table size.
+func PrimeTables(n int, minDist []int8) *Tables {
+	if n < 1 || n > maxTableClusters || len(minDist) < n*n {
+		return nil
+	}
+	key := make([]byte, 0, n*n+1)
+	key = append(key, byte(n))
+	for _, d := range minDist[:n*n] {
+		key = append(key, byte(d))
+	}
+	tablesMu.Lock()
+	defer tablesMu.Unlock()
+	if t, ok := tablesCache[string(key)]; ok {
+		return t
+	}
+	t := buildTables(n, minDist)
+	tablesCache[string(key)] = t
+	return t
+}
+
+// buildTables materializes the lookups by evaluating the exact slow-path
+// rules for every mask combination.
+func buildTables(n int, minDist []int8) *Tables {
+	masks := 1 << uint(n)
+	t := &Tables{
+		n:        n,
+		maskDist: make([]int8, masks*n),
+		ringPair: make([]uint16, masks*masks),
+		convPair: make([]uint16, masks*masks),
+	}
+	md := func(mask uint32, dst int) int {
+		if mask&(1<<uint(dst)) != 0 {
+			return 0
+		}
+		best := math.MaxInt8
+		for m := mask; m != 0; m &= m - 1 {
+			s := bits.TrailingZeros32(m)
+			if d := int(minDist[s*n+dst]); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	for mask := 1; mask < masks; mask++ {
+		for dst := 0; dst < n; dst++ {
+			t.maskDist[mask*n+dst] = int8(md(uint32(mask), dst))
+		}
+	}
+	for m0 := 1; m0 < masks; m0++ {
+		for m1 := 1; m1 < masks; m1++ {
+			idx := m0<<uint(n) | m1
+			// Ring rule: candidates hold one operand; minimize the
+			// communication distance of the other.
+			candidates := uint32(m0 | m1)
+			bestDist := math.MaxInt
+			var bestMask uint32
+			for c := 0; c < n; c++ {
+				if candidates&(1<<uint(c)) == 0 {
+					continue
+				}
+				other := uint32(m0)
+				if uint32(m0)&(1<<uint(c)) != 0 {
+					other = uint32(m1)
+				}
+				d := int(t.maskDist[int(other)*n+c])
+				switch {
+				case d < bestDist:
+					bestDist = d
+					bestMask = 1 << uint(c)
+				case d == bestDist:
+					bestMask |= 1 << uint(c)
+				}
+			}
+			t.ringPair[idx] = uint16(bestMask)
+			// Conv rule: any cluster is a candidate; minimize the longest
+			// communication distance over both operands.
+			bestCost := math.MaxInt
+			var sel uint32
+			for c := 0; c < n; c++ {
+				cost := int(t.maskDist[m0*n+c])
+				if d := int(t.maskDist[m1*n+c]); d > cost {
+					cost = d
+				}
+				switch {
+				case cost < bestCost:
+					bestCost = cost
+					sel = 1 << uint(c)
+				case cost == bestCost:
+					sel |= 1 << uint(c)
+				}
+			}
+			t.convPair[idx] = uint16(sel)
+		}
+	}
+	return t
+}
+
+// GeometryPrimer is implemented by algorithms whose Choose can be
+// accelerated with precomputed geometry tables and direct register-file
+// access. The core primes each algorithm after building its fabric,
+// passing the cluster-visibility mapping its View.FreeRegs applies (vis[c]
+// is the cluster whose register file an instruction steered to c writes).
+// A nil Tables (unsupported geometry) leaves the slow path in place.
+type GeometryPrimer interface {
+	PrimeGeometry(t *Tables, files *regfile.Files, vis []int8)
+}
+
+// mostFreeFiles is mostFree against a concrete register file: identical
+// tie-breaking (lowest index wins among equals) without the per-cluster
+// interface calls. vis maps the steered cluster to the written file,
+// mirroring the View.FreeRegs the slow path consults.
+func mostFreeFiles(f *regfile.Files, vis []int8, mask uint32, kind isa.RegFileKind) int {
+	best, bestFree := -1, math.MinInt
+	for m := mask; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
+		if free := f.Free(int(vis[c]), kind); free > bestFree {
+			best, bestFree = c, free
+		}
+	}
+	return best
+}
+
 // Ring is the dependence-based policy of Section 3.1.
-type Ring struct{}
+type Ring struct {
+	tab   *Tables
+	files *regfile.Files
+	vis   []int8
+}
 
 // NewRing returns the ring machine's steering policy.
 func NewRing() *Ring { return &Ring{} }
@@ -119,14 +277,51 @@ func NewRing() *Ring { return &Ring{} }
 // Name implements Algorithm.
 func (*Ring) Name() string { return "ring-dependence" }
 
+// PrimeGeometry implements GeometryPrimer.
+func (r *Ring) PrimeGeometry(t *Tables, files *regfile.Files, vis []int8) {
+	r.tab, r.files, r.vis = t, files, vis
+}
+
 // OnDispatch implements Algorithm (the ring policy is stateless).
 func (*Ring) OnDispatch(int) {}
 
 // Tick implements Algorithm.
 func (*Ring) Tick() {}
 
+// TickN implements Algorithm (the ring policy keeps no per-cycle state).
+func (*Ring) TickN(uint64) {}
+
 // Choose implements the algorithm exactly as Section 3.1 states it.
-func (*Ring) Choose(v View, req *Request) int {
+func (r *Ring) Choose(v View, req *Request) int {
+	if r.tab != nil {
+		// Table path: identical decisions, no interface calls. The 2-op
+		// candidate set is a pure function of the two operand masks and
+		// comes straight from the geometry table.
+		t, f, vis := r.tab, r.files, r.vis
+		all := allMask(t.n)
+		switch req.NumOps {
+		case 0:
+			return mostFreeFiles(f, vis, all, req.Kind)
+		case 1:
+			m0 := req.Ops[0].Mask
+			if m0 == 0 {
+				m0 = all
+			}
+			return mostFreeFiles(f, vis, m0, req.Kind)
+		default:
+			m0, m1 := req.Ops[0].Mask, req.Ops[1].Mask
+			if m0 == 0 {
+				m0 = all
+			}
+			if m1 == 0 {
+				m1 = all
+			}
+			if both := m0 & m1; both != 0 {
+				return mostFreeFiles(f, vis, both, req.Kind)
+			}
+			return mostFreeFiles(f, vis, uint32(t.ringPair[int(m0)<<uint(t.n)|int(m1)]), req.Kind)
+		}
+	}
 	n := v.NumClusters()
 	all := allMask(n)
 	norm := func(m uint32) uint32 {
@@ -209,7 +404,12 @@ type Conv struct {
 	ticks  int
 	mn, mx float64 // cached min/max over dcount
 	minIdx int     // lowest cluster index achieving mn
+	tab    *Tables
 }
+
+// PrimeGeometry implements GeometryPrimer (Conv breaks ties on DCOUNT, not
+// free registers, so only the distance tables are consulted).
+func (cv *Conv) PrimeGeometry(t *Tables, _ *regfile.Files, _ []int8) { cv.tab = t }
 
 // NewConv returns the conventional policy for n clusters.
 func NewConv(n int, cfg ConvConfig) *Conv {
@@ -261,13 +461,53 @@ func (cv *Conv) leastLoaded(mask uint32) int {
 
 // Choose implements the Section 4.1 algorithm.
 func (cv *Conv) Choose(v View, req *Request) int {
-	n := v.NumClusters()
-	all := allMask(n)
 	// "If the workload imbalance is higher than the threshold: the least
 	// loaded cluster is chosen (that with lower DCOUNT value)."
 	if cv.Imbalance() > cv.cfg.Threshold {
 		return cv.minIdx
 	}
+	if t := cv.tab; t != nil {
+		// Table path: identical decisions without the per-cluster distance
+		// scans. With no pending operand the selected set reduces to the
+		// clusters at distance zero when one exists — the (normalized)
+		// operand mask itself, or the masks' intersection — and to the
+		// precomputed pair table otherwise.
+		all := allMask(t.n)
+		pending := uint32(0)
+		for i := 0; i < req.NumOps; i++ {
+			if req.Ops[i].Pending && req.Ops[i].Mask != 0 {
+				pending |= req.Ops[i].Mask
+			}
+		}
+		var selected uint32
+		switch {
+		case pending != 0:
+			selected = pending
+		case req.NumOps == 0:
+			selected = all
+		case req.NumOps == 1:
+			selected = req.Ops[0].Mask
+			if selected == 0 {
+				selected = all
+			}
+		default:
+			m0, m1 := req.Ops[0].Mask, req.Ops[1].Mask
+			if m0 == 0 {
+				m0 = all
+			}
+			if m1 == 0 {
+				m1 = all
+			}
+			if both := m0 & m1; both != 0 {
+				selected = both
+			} else {
+				selected = uint32(t.convPair[int(m0)<<uint(t.n)|int(m1)])
+			}
+		}
+		return cv.leastLoaded(selected)
+	}
+	n := v.NumClusters()
+	all := allMask(n)
 	var selected uint32
 	pending := uint32(0)
 	for i := 0; i < req.NumOps; i++ {
@@ -346,6 +586,36 @@ func (cv *Conv) Tick() {
 	}
 }
 
+// TickN advances n cycles at once, bit-identical to n sequential Ticks:
+// between decay boundaries only the tick counter moves, and each boundary
+// applies exactly one multiplication per counter, so replaying the
+// boundaries reproduces the float sequence exactly.
+func (cv *Conv) TickN(n uint64) {
+	decayed := false
+	for n > 0 {
+		step := uint64(cv.cfg.DecayPeriod - cv.ticks)
+		if step > n {
+			cv.ticks += int(n)
+			break
+		}
+		n -= step
+		cv.ticks = 0
+		for i := range cv.dcount {
+			cv.dcount[i] *= cv.cfg.DecayFactor
+		}
+		decayed = true
+	}
+	if decayed {
+		cv.rescan()
+	}
+}
+
+// CyclesToDecay returns how many future Ticks may elapse before the next
+// DCOUNT decay fires (always ≥ 1): the Tick that many cycles ahead is the
+// first whose decay changes subsequent Choose decisions. The core's
+// fast-forward uses it to bound skips over Choose-dependent stalls.
+func (cv *Conv) CyclesToDecay() uint64 { return uint64(cv.cfg.DecayPeriod - cv.ticks) }
+
 // SSA is the simple steering algorithm of Section 4.7: an instruction goes
 // to the lowest-index cluster that stores (or will store) its leftmost
 // operand; instructions without register operands round-robin.
@@ -367,6 +637,9 @@ func (*SSA) Name() string { return "simple" }
 
 // Tick implements Algorithm.
 func (*SSA) Tick() {}
+
+// TickN implements Algorithm (SSA keeps no per-cycle state).
+func (*SSA) TickN(uint64) {}
 
 // OnDispatch implements Algorithm (round-robin state advances in Choose so
 // that stalled re-choices stay stable; see Choose).

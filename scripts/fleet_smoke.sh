@@ -96,6 +96,24 @@ tail -n 8 "$TMP/pass2.log" >"$TMP/tbl2"
 cmp -s "$TMP/tbl1" "$TMP/tbl2" \
     || { echo "fleet-smoke: FAIL: cached pass printed a different Figure 6 table"; diff "$TMP/tbl1" "$TMP/tbl2" || true; exit 1; }
 
+# The workers satisfied the shared-workload sweep with coordinator-served
+# traces: every lease-referenced trace was fetched, none regenerated.
+# (Checked before the crash pass — a kill -9 mid-fetch legitimately fails
+# fetches over to regeneration.)
+fetched=0
+regen=0
+for f in "$TMP"/worker-*.log; do
+    for n in $(sed -n 's/.*trace prefetch: fetched=\([0-9][0-9]*\).*/\1/p' "$f"); do
+        fetched=$((fetched + n))
+    done
+    for n in $(sed -n 's/.*regenerated=\([0-9][0-9]*\).*/\1/p' "$f"); do
+        regen=$((regen + n))
+    done
+done
+echo "fleet-smoke: trace_fetches=$fetched trace_regens=$regen"
+[ "$fetched" -ge 1 ] || { echo "fleet-smoke: FAIL: workers fetched no traces from the coordinator"; exit 1; }
+[ "$regen" -eq 0 ] || { echo "fleet-smoke: FAIL: workers regenerated $regen traces despite the coordinator serving them"; exit 1; }
+
 # ---- Pass 3: kill -9 the coordinator mid-sweep, restart, re-attach ----
 # Distinct instruction count → every member is cold; the sweep cannot be
 # answered from the pass-1/2 cache.
