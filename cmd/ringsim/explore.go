@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/harness"
 	"repro/internal/results"
 	"repro/internal/workload"
 )
@@ -36,8 +38,15 @@ func exploreMain(args []string) {
 	insts := fs.Uint64("insts", 300_000, "measured instructions per program")
 	warmup := fs.Uint64("warmup", 50_000, "warm-up instructions (not measured)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (shareable with ringsimd)")
+	twin := fs.String("twin", "off", "analytical-twin gate: on, off, or auto (on scores the space closed-form and simulates only the predicted frontier + ε-neighborhood)")
+	twinEps := fs.Float64("twin-eps", 0, "twin verification neighborhood (relative IPC slack; 0 = default, negative = exactly the predicted frontier)")
 	asJSON := fs.Bool("json", false, "emit the full exploration report as JSON")
 	fs.Parse(args)
+
+	twinMode, err := dse.ParseTwinMode(*twin)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	archKind := core.ArchRing
 	if strings.EqualFold(*arch, "conv") {
@@ -91,6 +100,11 @@ func exploreMain(args []string) {
 			fatalf("%v", err)
 		}
 		store = results.NewTiered(results.NewMemoryLRU(4096), disk)
+		// Twin profiles persist next to the simulation results, so warm
+		// explorations skip both the sims and the profiling pass.
+		if err := harness.DefaultProfileCache.SetDir(filepath.Join(*cacheDir, "profiles")); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	rep, err := dse.Explore(dse.Options{
@@ -99,6 +113,13 @@ func exploreMain(args []string) {
 		Evaluator: &dse.SimEvaluator{Programs: names, Insts: *insts, Warmup: *warmup, Store: store},
 		Budget:    *budget,
 		Seed:      *seed,
+		Twin: &dse.TwinOptions{
+			Mode:     twinMode,
+			Epsilon:  *twinEps,
+			Programs: names,
+			Insts:    *insts,
+			Warmup:   *warmup,
+		},
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -120,6 +141,10 @@ func printReport(rep *dse.Report) {
 		rep.Strategy, rep.SpaceSize, rep.Evaluated, rep.Skipped, rep.Failed, rep.Rounds)
 	fmt.Printf("simulations: %d run, %d cache hits (%.0f%% hit rate)\n",
 		rep.SimsRun, rep.CacheHits, 100*rep.CacheHitRate())
+	if rep.TwinMode != "" {
+		fmt.Printf("twin: %d predictions, %d sims avoided, %d candidates verified, MAPE %.1f%%\n",
+			rep.TwinPredictions, rep.SimsAvoided, rep.TwinVerified, rep.TwinMAPE)
+	}
 	fmt.Printf("Pareto frontier (%d points, IPC maximized, area minimized):\n", len(rep.Frontier))
 	fmt.Printf("%-46s %8s %14s\n", "config", "IPC", "area (λ²)")
 	for _, p := range rep.Frontier {

@@ -10,9 +10,16 @@
 //
 //	ringsimd [-addr :8080] [-workers N] [-queue N] [-batch N]
 //	         [-cache-dir DIR] [-cache-max-bytes N] [-mem-entries N]
-//	         [-journal-dir DIR] [-pprof-addr HOST:PORT]
-//	         [-fleet] [-fleet-secret S]
+//	         [-journal-dir DIR] [-twin on|off|auto]
+//	         [-pprof-addr HOST:PORT] [-fleet] [-fleet-secret S]
 //	         [-lease-ttl 30s] [-heartbeat 10s]
+//
+// With -twin the analytical twin (internal/predict) gates explorations
+// by default: the closed-form model scores the whole space and only the
+// predicted Pareto frontier plus its ε-neighborhood is simulated, with
+// predicted-vs-simulated MAPE reported in the exploration JSON and the
+// ringsimd_twin_* /metrics family. Requests override per-exploration
+// with their "twin" field.
 //
 // With -cache-dir the cache is tiered: an in-memory LRU in front of an
 // on-disk content-addressed store that survives restarts. Without it,
@@ -61,7 +68,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dse"
 	"repro/internal/fleet"
+	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/results"
 	"repro/internal/server"
@@ -77,6 +86,7 @@ func main() {
 	memEntries := flag.Int("mem-entries", 4096, "in-memory LRU cache capacity (entries)")
 	journalDir := flag.String("journal-dir", "", "coordinator journal directory for crash-safe sweeps/explorations (default <cache-dir>/journal when -cache-dir is set; \"none\" disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	twin := flag.String("twin", "off", "default analytical-twin gate for explorations: on, off, or auto (requests may override per-exploration)")
 	fleetMode := flag.Bool("fleet", false, "coordinate remote ringsim-worker processes via /v1/fleet")
 	fleetSecret := flag.String("fleet-secret", "", "shared secret required on every /v1/fleet call (empty = unauthenticated)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "fleet: how long a worker holds a leased job without heartbeating before it is requeued")
@@ -92,7 +102,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ringsimd:", err)
 		os.Exit(2)
 	}
-	opts := server.Options{Workers: *workers, QueueDepth: *queue, Batch: *batch, Store: store, FleetSecret: *fleetSecret}
+	if _, err := dse.ParseTwinMode(*twin); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsimd:", err)
+		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		// Twin profiles persist alongside the result store so warm
+		// twin-gated explorations skip the profiling pass across restarts.
+		if err := harness.DefaultProfileCache.SetDir(filepath.Join(*cacheDir, "profiles")); err != nil {
+			fmt.Fprintln(os.Stderr, "ringsimd:", err)
+			os.Exit(2)
+		}
+	}
+	opts := server.Options{Workers: *workers, QueueDepth: *queue, Batch: *batch, Store: store, FleetSecret: *fleetSecret, Twin: *twin}
 	if *fleetMode {
 		opts.Fleet = &fleet.CoordinatorOptions{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeat}
 	} else if *workers < 0 {

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/isa"
+	"repro/internal/predict"
 	"repro/internal/trace"
 	"repro/internal/workload"
 
@@ -90,7 +91,10 @@ func generate(prog string, n uint64, out string, dump bool) error {
 			return err
 		}
 	}
-	var sum summary
+	// The analytical twin's summarizer is the single measurement pass:
+	// generation and -inspect print the same profile-derived stats the
+	// predictor scores from.
+	sum := predict.NewSummarizer(st.Program, st.Seed)
 	for {
 		in, err := stream.Next()
 		if errors.Is(err, trace.ErrEnd) {
@@ -99,7 +103,7 @@ func generate(prog string, n uint64, out string, dump bool) error {
 		if err != nil {
 			return err
 		}
-		sum.observe(&in)
+		sum.Observe(&in)
 		if dump {
 			fmt.Println(in.String())
 		}
@@ -109,75 +113,43 @@ func generate(prog string, n uint64, out string, dump bool) error {
 			}
 		}
 	}
+	p := sum.Finish()
 	if w != nil {
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", sum.total, out)
+		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", p.Insts, out)
 	}
-	sum.print(os.Stderr, spec.Name())
+	printProfile(os.Stderr, spec.Name(), p)
 	return nil
 }
 
-// summary accumulates the measured character of a stream: instruction
-// mix, branch behaviour, and memory working set. It is how generated
-// traces are validated against the parameters that requested them.
-type summary struct {
-	total  uint64
-	counts [isa.NumClasses]uint64
-
-	branches, taken uint64
-
-	addrs map[uint64]struct{} // distinct 64-byte lines touched
-	loAdd uint64
-	hiAdd uint64
-}
-
-func (s *summary) observe(in *isa.Inst) {
-	s.total++
-	s.counts[in.Class]++
-	if in.Class == isa.Branch {
-		s.branches++
-		if in.Taken {
-			s.taken++
-		}
-	}
-	if in.Class == isa.Load || in.Class == isa.Store {
-		line := in.EffAddr >> 6
-		if s.addrs == nil {
-			s.addrs = make(map[uint64]struct{})
-			s.loAdd, s.hiAdd = in.EffAddr, in.EffAddr
-		}
-		s.addrs[line] = struct{}{}
-		if in.EffAddr < s.loAdd {
-			s.loAdd = in.EffAddr
-		}
-		if in.EffAddr > s.hiAdd {
-			s.hiAdd = in.EffAddr
-		}
-	}
-}
-
-func (s *summary) print(w *os.File, name string) {
-	if s.total == 0 {
+// printProfile renders the measured character of a stream from its twin
+// profile: instruction mix, branch behaviour (including the modelled
+// mispredict rate), dataflow ILP, and memory working set.
+func printProfile(w *os.File, name string, p *predict.Profile) {
+	if p.Insts == 0 {
 		fmt.Fprintf(w, "%s: empty trace\n", name)
 		return
 	}
-	fmt.Fprintf(w, "%s: %d instructions\n", name, s.total)
+	fmt.Fprintf(w, "%s: %d instructions\n", name, p.Insts)
 	fmt.Fprintf(w, "mix:")
 	for c := isa.Class(0); c < isa.NumClasses; c++ {
-		if s.counts[c] > 0 {
-			fmt.Fprintf(w, " %s=%.1f%%", c, 100*float64(s.counts[c])/float64(s.total))
+		if p.Classes[c] > 0 {
+			fmt.Fprintf(w, " %s=%.1f%%", c, 100*float64(p.Classes[c])/float64(p.Insts))
 		}
 	}
 	fmt.Fprintln(w)
-	if s.branches > 0 {
-		fmt.Fprintf(w, "branches: %.1f%% of stream, %.1f%% taken\n",
-			100*float64(s.branches)/float64(s.total), 100*float64(s.taken)/float64(s.branches))
+	if p.Branches > 0 {
+		fmt.Fprintf(w, "branches: %.1f%% of stream, %.1f%% taken, %.1f%% mispredicted (hybrid predictor model)\n",
+			100*float64(p.Branches)/float64(p.Insts), 100*float64(p.Taken)/float64(p.Branches),
+			100*p.MispredictRate())
 	}
-	if len(s.addrs) > 0 {
+	fmt.Fprintf(w, "dataflow: critical path %d cycles (ILP limit %.1f IPC)\n",
+		p.CritPath, float64(p.Insts)/float64(p.CritPath))
+	if p.Lines64 > 0 {
 		fmt.Fprintf(w, "working set: %d distinct 64B lines (%s touched), address span %s\n",
-			len(s.addrs), fmtBytes(uint64(len(s.addrs))*64), fmtBytes(s.hiAdd-s.loAdd+1))
+			p.Lines64, fmtBytes(p.Lines64*64), fmtBytes(p.AddrHi-p.AddrLo+1))
 	}
 }
 
@@ -196,16 +168,16 @@ func fmtBytes(n uint64) string {
 }
 
 // teeStream forwards a stream while feeding each instruction to the
-// summary.
+// summarizer.
 type teeStream struct {
 	s   trace.Stream
-	sum *summary
+	sum *predict.Summarizer
 }
 
 func (t teeStream) Next() (isa.Inst, error) {
 	in, err := t.s.Next()
 	if err == nil {
-		t.sum.observe(&in)
+		t.sum.Observe(&in)
 	}
 	return in, err
 }
@@ -222,12 +194,12 @@ func inspectTrace(path string) error {
 	}
 	// Validate structure and measure character in one pass: the tee
 	// observes each instruction as Validate streams it.
-	var sum summary
-	n, err := trace.Validate(teeStream{s: r, sum: &sum})
+	sum := predict.NewSummarizer(path, 0)
+	n, err := trace.Validate(teeStream{s: r, sum: sum})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d valid instructions\n", path, n)
-	sum.print(os.Stdout, path)
+	printProfile(os.Stdout, path, sum.Finish())
 	return nil
 }

@@ -43,6 +43,7 @@ func Specs() []Spec {
 		{Name: "MultiProgram2", Fn: MultiProgram2, Headline: true},
 		{Name: "MultiProgram4", Fn: MultiProgram4},
 		{Name: "SynthSweep", Fn: SynthSweep},
+		{Name: "TwinExplore", Fn: TwinExplore},
 		{Name: "MixFairnessStudy", Fn: MixFairnessStudy},
 		{Name: "WorkloadGenerator", Fn: WorkloadGenerator},
 		{Name: "BusReservation", Fn: BusReservation},

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/workload"
+)
+
+// TwinExplore measures the analytical twin's two-tier gate on the
+// acceptance exploration: the ringsim-explore default axes (arch ×
+// clusters × buses × iw, 16 candidates in 4 equal-area groups) over the
+// full workload suite at the calibration instruction budget. One
+// iteration runs the exhaustive grid and the twin-gated grid over a
+// shared store and reports
+//
+//	sims-avoided-ratio   fraction of program simulations the gate skipped
+//	twin-mape-%          predicted-vs-simulated IPC error on the verified set
+//	frontier-identical   1 when the twin frontier equals the exhaustive one
+//	twin-score-us        mean closed-form scoring latency per candidate
+//
+// The twin's value proposition in two numbers: the ratio is what the
+// gate saves, the MAPE (and the frontier bit) is what it risks.
+func TwinExplore(b *testing.B) {
+	const (
+		twinInsts  = 300_000
+		twinWarmup = 50_000
+	)
+	axes, err := dse.ParseAxes("arch=ring,conv;clusters=4,8;buses=1..2;iw=1..2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := dse.Space{Base: core.MustPaperConfig(core.ArchRing, 8, 2, 1), Axes: axes}
+	progs := workload.Names()
+	var avoidedRatio, mape, frontierOK, scoreUS float64
+	for i := 0; i < b.N; i++ {
+		store := results.NewMemoryLRU(4096)
+		grid, err := dse.NewStrategy("grid", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := func(tw *dse.TwinOptions) dse.Options {
+			return dse.Options{
+				Space:     space,
+				Strategy:  grid,
+				Evaluator: &dse.SimEvaluator{Programs: progs, Insts: twinInsts, Warmup: twinWarmup, Store: store},
+				Twin:      tw,
+			}
+		}
+		exact, err := dse.Explore(opts(nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles := harness.NewProfileCache(nil, "")
+		twinOpts := &dse.TwinOptions{
+			Mode:     dse.TwinOn,
+			Programs: progs,
+			Insts:    twinInsts,
+			Warmup:   twinWarmup,
+			Profiles: profiles,
+		}
+		// Warm the profile cache outside the latency clock, then time the
+		// pure closed-form pass: that number is the microseconds-per-
+		// candidate claim, profiling amortizes across every exploration
+		// that shares the cache.
+		for _, prog := range progs {
+			spec, err := workload.ParseSpec(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := profiles.ProfileSpec(spec, twinInsts, twinWarmup); err != nil {
+				b.Fatal(err)
+			}
+		}
+		start := time.Now()
+		twin, err := dse.Explore(opts(twinOpts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		scoreUS = time.Since(start).Seconds() * 1e6 / float64(twin.Proposed)
+
+		answered := twin.SimsRun + twin.CacheHits + twin.SimsAvoided
+		avoidedRatio = float64(twin.SimsAvoided) / float64(answered)
+		mape = twin.TwinMAPE
+		frontierOK = 1
+		ef := map[string]dse.Objectives{}
+		for _, p := range exact.Frontier {
+			ef[p.Config] = p.Objectives
+		}
+		if len(twin.Frontier) != len(exact.Frontier) {
+			frontierOK = 0
+		}
+		for _, p := range twin.Frontier {
+			if ef[p.Config] != p.Objectives {
+				frontierOK = 0
+			}
+		}
+	}
+	b.ReportMetric(avoidedRatio, "sims-avoided-ratio")
+	b.ReportMetric(mape, "twin-mape-%")
+	b.ReportMetric(frontierOK, "frontier-identical")
+	b.ReportMetric(scoreUS, "twin-score-us")
+}

@@ -28,6 +28,9 @@ type Options struct {
 	// Observer, when set, is called after every completed batch with the
 	// running report. The engine calls it from one goroutine at a time.
 	Observer func(*Report)
+	// Twin, when non-nil with Mode on/auto, gates the simulator behind
+	// the analytical twin (see twin.go). Nil = exact exhaustive path.
+	Twin *TwinOptions
 }
 
 // Report is the outcome of an exploration.
@@ -55,6 +58,21 @@ type Report struct {
 	Frontier []Point `json:"frontier"`
 	// Points is every evaluated point, in evaluation order.
 	Points []Point `json:"points"`
+
+	// Twin accounting, populated only when the analytical twin gated
+	// this exploration (TwinMode "on").
+	//
+	// TwinMode records whether the twin was active. TwinPredictions
+	// counts closed-form scorings and SimsAvoided the program runs the
+	// gate skipped, both in program-run units so they compare directly
+	// with SimsRun+CacheHits. TwinVerified counts candidates the
+	// simulator confirmed, and TwinMAPE is the mean absolute percentage
+	// error of predicted vs simulated IPC over them.
+	TwinMode        string  `json:"twin,omitempty"`
+	TwinPredictions int     `json:"predictions_total,omitempty"`
+	SimsAvoided     int     `json:"sims_avoided,omitempty"`
+	TwinVerified    int     `json:"twin_verified,omitempty"`
+	TwinMAPE        float64 `json:"twin_mape,omitempty"`
 }
 
 // CacheHitRate returns the fraction of program runs served from cache.
@@ -87,6 +105,11 @@ func Explore(opts Options) (*Report, error) {
 	workers := opts.Concurrency
 	if workers <= 0 {
 		workers = Concurrency()
+	}
+	if twin, err := opts.Twin.Enabled(opts.Strategy, opts.Space.Size()); err != nil {
+		return nil, err
+	} else if twin {
+		return exploreTwin(opts, budget, workers)
 	}
 
 	st := &State{

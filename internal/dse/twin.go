@@ -1,0 +1,265 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// TwinMode selects whether the analytical twin gates an exploration.
+type TwinMode string
+
+const (
+	// TwinOff runs the exact exhaustive path: every candidate simulates.
+	TwinOff TwinMode = "off"
+	// TwinOn scores the whole space with the closed-form model and
+	// simulates only the predicted frontier plus its ε-neighborhood.
+	// Requires the grid strategy (the gate needs the full space).
+	TwinOn TwinMode = "on"
+	// TwinAuto enables the twin when it can help: grid strategy over a
+	// space of at least TwinAutoMinSpace candidates.
+	TwinAuto TwinMode = "auto"
+)
+
+// TwinAutoMinSpace is the smallest space TwinAuto gates: below it the
+// twin's savings cannot outweigh the risk of a frontier miss.
+const TwinAutoMinSpace = 8
+
+// ParseTwinMode validates a -twin flag value.
+func ParseTwinMode(s string) (TwinMode, error) {
+	switch TwinMode(s) {
+	case TwinOff, TwinOn, TwinAuto:
+		return TwinMode(s), nil
+	case "":
+		return TwinOff, nil
+	}
+	return "", fmt.Errorf("dse: invalid -twin value %q (legal values: on, off, auto)", s)
+}
+
+// DefaultTwinEpsilon is the relative slack of the verification
+// neighborhood: a candidate simulates when its predicted IPC is within
+// ε of the best prediction at its area or below. The default treats
+// sub-0.2% predicted gaps as ties (both sides simulate); the calibrated
+// model separates distinguishable candidates by more than that.
+const DefaultTwinEpsilon = 0.002
+
+// TwinOptions configures the analytical-twin gate of an exploration.
+type TwinOptions struct {
+	// Mode gates the twin; TwinOff (or a nil TwinOptions) is the exact
+	// exhaustive path.
+	Mode TwinMode
+	// Epsilon widens the verification neighborhood (0 = DefaultTwinEpsilon;
+	// negative = exactly the predicted frontier).
+	Epsilon float64
+	// Programs is the default workload suite for candidates without
+	// workload axes; it must match the evaluator's suite or the twin
+	// ranks a different problem than the simulator scores.
+	Programs []string
+	// Insts and Warmup are the harness accounting the profiles cover;
+	// they must match the evaluator's.
+	Insts, Warmup uint64
+	// Profiles is the profile cache (nil = harness.DefaultProfileCache).
+	Profiles *harness.ProfileCache
+	// Model overrides the calibrated constants (nil = DefaultModel).
+	Model *predict.Model
+}
+
+// Enabled resolves the mode against the chosen strategy and space size.
+// TwinOn with a non-grid strategy is an error: the gate ranks the whole
+// space, which only the grid strategy enumerates. Exported so servers
+// can refuse an impossible combination at submit time instead of
+// failing the exploration asynchronously.
+func (t *TwinOptions) Enabled(strategy Strategy, spaceSize int) (bool, error) {
+	if t == nil || t.Mode == TwinOff || t.Mode == "" {
+		return false, nil
+	}
+	grid := strategy.Name() == "grid"
+	switch t.Mode {
+	case TwinOn:
+		if !grid {
+			return false, fmt.Errorf("dse: -twin=on requires -strategy=grid (got %q); use -twin=auto to fall back", strategy.Name())
+		}
+		return true, nil
+	case TwinAuto:
+		return grid && spaceSize >= TwinAutoMinSpace, nil
+	}
+	return false, fmt.Errorf("dse: invalid -twin value %q (legal values: on, off, auto)", string(t.Mode))
+}
+
+// epsilon returns the effective neighborhood slack.
+func (t *TwinOptions) epsilon() float64 {
+	switch {
+	case t.Epsilon < 0:
+		return 0
+	case t.Epsilon == 0:
+		return DefaultTwinEpsilon
+	}
+	return t.Epsilon
+}
+
+// twinScore is one candidate's closed-form evaluation.
+type twinScore struct {
+	cand     Candidate
+	area     float64
+	predIPC  float64
+	programs int // workload size, for sims-avoided accounting
+	invalid  bool
+}
+
+// exploreTwin is the two-tier engine: the twin scores every candidate of
+// the grid, the simulator verifies only the candidates whose predicted
+// IPC is within ε of the best prediction at their area or below (a
+// superset of the predicted Pareto frontier, since area is exact), and
+// predicted-vs-simulated error is reported as first-class accounting.
+// The returned frontier equals the exhaustive one whenever the model
+// ranks the true frontier within ε — the property the calibration tests
+// pin.
+func exploreTwin(opts Options, budget, workers int) (*Report, error) {
+	t := opts.Twin
+	profiles := t.Profiles
+	if profiles == nil {
+		profiles = harness.DefaultProfileCache
+	}
+	model := predict.DefaultModel()
+	if t.Model != nil {
+		model = *t.Model
+	}
+	space := &opts.Space
+	rep := &Report{
+		Strategy:  opts.Strategy.Name(),
+		TwinMode:  string(TwinOn),
+		SpaceSize: space.Size(),
+	}
+
+	// Tier 1: closed-form scores for the whole grid.
+	scores := make([]twinScore, 0, space.Size())
+	for _, c := range space.Grid() {
+		s := twinScore{cand: c}
+		cfg, err := space.Config(c)
+		if err != nil {
+			s.invalid = true
+			rep.Skipped++
+			scores = append(scores, s)
+			continue
+		}
+		progs, err := space.Workloads(c)
+		if err != nil {
+			s.invalid = true
+			rep.Skipped++
+			scores = append(scores, s)
+			continue
+		}
+		if progs == nil {
+			progs = t.Programs
+		}
+		if len(progs) == 0 {
+			return nil, fmt.Errorf("dse: twin has no programs")
+		}
+		var sum float64
+		for _, prog := range progs {
+			spec, err := workload.ParseSpec(prog)
+			if err != nil {
+				return nil, err
+			}
+			p, err := profiles.ProfileSpec(spec, t.Insts, t.Warmup)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := model.PredictIPC(p, &cfg)
+			if err != nil {
+				return nil, err
+			}
+			sum += pred.IPC
+		}
+		s.area = Area(cfg)
+		s.predIPC = sum / float64(len(progs))
+		s.programs = len(progs)
+		rep.TwinPredictions += len(progs)
+		scores = append(scores, s)
+	}
+	rep.Proposed = len(scores)
+
+	// Tier 2 selection: area is closed-form (exact), so a candidate can
+	// only be Pareto-optimal if no cheaper-or-equal candidate beats its
+	// IPC — sort by area and verify everything predicted within ε of the
+	// running best. ε=0 degenerates to exactly the predicted frontier.
+	eps := t.epsilon()
+	order := make([]*twinScore, 0, len(scores))
+	for i := range scores {
+		if !scores[i].invalid {
+			order = append(order, &scores[i])
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].area != order[j].area {
+			return order[i].area < order[j].area
+		}
+		return order[i].predIPC > order[j].predIPC
+	})
+	var verify []*twinScore
+	best := math.Inf(-1)
+	for _, s := range order {
+		if s.predIPC*(1+eps) >= best {
+			verify = append(verify, s)
+		} else {
+			rep.SimsAvoided += s.programs
+		}
+		if s.predIPC > best {
+			best = s.predIPC
+		}
+	}
+	if budget > 0 && len(verify) > budget {
+		for _, s := range verify[budget:] {
+			rep.SimsAvoided += s.programs
+		}
+		verify = verify[:budget]
+	}
+
+	// Verify with the real simulator through the shared evaluator path
+	// (batched lockstep + result store, identical to the exhaustive
+	// engine), then report prediction error on everything verified.
+	batch := make([]Candidate, len(verify))
+	for i, s := range verify {
+		batch[i] = s.cand
+	}
+	frontier := &Frontier{}
+	outs := evaluateBatch(space, opts.Evaluator, batch, workers)
+	var mapeSum float64
+	var mapeN int
+	for i, o := range outs {
+		rep.SimsRun += o.stats.Sims
+		rep.CacheHits += o.stats.CacheHits
+		switch {
+		case o.invalid:
+			rep.Skipped++
+		case o.err != nil:
+			rep.Failed++
+		default:
+			p := Point{Candidate: batch[i], Config: o.config, Objectives: o.obj}
+			frontier.Add(p)
+			rep.Evaluated++
+			rep.Points = append(rep.Points, p)
+			if o.obj.IPC > 0 {
+				mapeSum += math.Abs(verify[i].predIPC-o.obj.IPC) / o.obj.IPC
+				mapeN++
+			}
+		}
+	}
+	rep.TwinVerified = rep.Evaluated
+	if mapeN > 0 {
+		rep.TwinMAPE = mapeSum / float64(mapeN) * 100
+	}
+	rep.Rounds = 1
+	rep.Frontier = frontier.Points()
+	if opts.Observer != nil {
+		opts.Observer(rep)
+	}
+	if rep.Evaluated == 0 {
+		return rep, fmt.Errorf("dse: no candidate evaluated (%d invalid, %d failed)", rep.Skipped, rep.Failed)
+	}
+	return rep, nil
+}

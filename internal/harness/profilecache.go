@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// ProfileCache memoizes analytical-twin trace summaries (predict.Profile)
+// the way TraceCache memoizes materialized traces: one profile per
+// (canonical program, seed, instruction count), computed once and shared
+// by every exploration that scores the same workload. Profiles are three
+// orders of magnitude smaller than the traces they summarize, so the
+// memory layer is unbounded; with a directory attached each profile is
+// also persisted content-addressed (predict.Key → JSON), which makes the
+// cache durable across restarts and shareable fleet-wide through the same
+// shared cache directory that backs the result store — the profile
+// analogue of the fleet's TraceRefs.
+//
+// The cache is safe for concurrent use. Profile computation streams from
+// the TraceCache, so an exploration's twin pass also warms the trace the
+// verifying simulations replay.
+type ProfileCache struct {
+	traces *TraceCache
+
+	mu       sync.Mutex
+	dir      string
+	entries  map[string]*predict.Profile
+	inFlight map[string]*sync.WaitGroup
+	hits     uint64
+	misses   uint64
+	diskHits uint64
+}
+
+// NewProfileCache returns a cache computing profiles from tc's streams
+// (nil = DefaultTraceCache), persisting to dir when non-empty.
+func NewProfileCache(tc *TraceCache, dir string) *ProfileCache {
+	if tc == nil {
+		tc = DefaultTraceCache
+	}
+	return &ProfileCache{
+		traces:   tc,
+		dir:      dir,
+		entries:  make(map[string]*predict.Profile),
+		inFlight: make(map[string]*sync.WaitGroup),
+	}
+}
+
+// DefaultProfileCache backs the twin evaluator, memory-only until a
+// directory is attached at process startup.
+var DefaultProfileCache = NewProfileCache(nil, "")
+
+// SetDir attaches (or detaches, with "") the content-addressed disk
+// layer. Call at startup before concurrent use; profiles computed earlier
+// stay in memory but are not re-persisted.
+func (pc *ProfileCache) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	pc.mu.Lock()
+	pc.dir = dir
+	pc.mu.Unlock()
+	return nil
+}
+
+// ProfileCacheStats is a point-in-time snapshot of the cache counters for
+// /metrics.
+type ProfileCacheStats struct {
+	// Entries is the number of profiles resident in memory.
+	Entries int
+	// Hits counts Profile calls served from memory, DiskHits those
+	// loaded from the directory, Misses those that computed a profile.
+	Hits, DiskHits, Misses uint64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (pc *ProfileCache) Stats() ProfileCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return ProfileCacheStats{
+		Entries:  len(pc.entries),
+		Hits:     pc.hits,
+		DiskHits: pc.diskHits,
+		Misses:   pc.misses,
+	}
+}
+
+// Profile returns the summary of the first n instructions of (program,
+// seed), computing and caching it on first use. Concurrent requests for
+// one key compute once; the rest wait.
+func (pc *ProfileCache) Profile(program string, seed, n uint64) (*predict.Profile, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("harness: profile of %q needs a positive instruction count", program)
+	}
+	key := predict.Key(program, seed, n)
+	for {
+		pc.mu.Lock()
+		if p := pc.entries[key]; p != nil {
+			pc.hits++
+			pc.mu.Unlock()
+			return p, nil
+		}
+		if wg := pc.inFlight[key]; wg != nil {
+			pc.mu.Unlock()
+			wg.Wait()
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		pc.inFlight[key] = wg
+		dir := pc.dir
+		pc.mu.Unlock()
+
+		p, fromDisk, err := pc.load(dir, key, program, seed, n)
+		pc.mu.Lock()
+		if err == nil {
+			pc.entries[key] = p
+			if fromDisk {
+				pc.diskHits++
+			} else {
+				pc.misses++
+			}
+		}
+		delete(pc.inFlight, key)
+		pc.mu.Unlock()
+		wg.Done()
+		return p, err
+	}
+}
+
+// load fetches the profile from disk or computes it from the trace cache,
+// persisting fresh computations when a directory is attached.
+func (pc *ProfileCache) load(dir, key, program string, seed, n uint64) (*predict.Profile, bool, error) {
+	path := ""
+	if dir != "" {
+		path = filepath.Join(dir, key+".json")
+		if b, err := os.ReadFile(path); err == nil {
+			if p, derr := predict.Decode(b); derr == nil && p.Insts == n {
+				return p, true, nil
+			}
+			// Corrupt or stale-schema entry: recompute and overwrite.
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, false, err
+		}
+	}
+	stream, err := pc.traces.Stream(program, seed, n)
+	if err != nil {
+		return nil, false, err
+	}
+	p, err := predict.Summarize(program, seed, stream, n)
+	if err != nil {
+		return nil, false, err
+	}
+	if path != "" {
+		if err := writeAtomic(path, p); err != nil {
+			return nil, false, err
+		}
+	}
+	return p, false, nil
+}
+
+// writeAtomic persists a profile via temp-file + rename so concurrent
+// processes sharing the directory never observe a torn entry.
+func writeAtomic(path string, p *predict.Profile) error {
+	b, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".profile-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ProfileSpec returns the workload-level profile for a (possibly
+// multi-stream) spec at the harness's instruction accounting: each stream
+// is profiled over its warm-up share plus measured budget — the same
+// window Execute simulates — and multi-stream mixes merge per-stream
+// profiles.
+func (pc *ProfileCache) ProfileSpec(spec workload.Spec, insts, warmup uint64) (*predict.Profile, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := uint64(len(spec.Streams))
+	parts := make([]*predict.Profile, 0, len(spec.Streams))
+	for i, s := range spec.Streams {
+		warm := warmup
+		if n > 1 {
+			warm = warmup / n
+			if uint64(i) < warmup%n {
+				warm++
+			}
+		}
+		p, err := pc.Profile(s.Program, s.Seed, warm+streamBudget(s, insts))
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return predict.Merge(parts), nil
+}

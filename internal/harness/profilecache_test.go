@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestProfileCacheDeterminismUnderPooling: concurrent requests for one
+// key — the shape a twin-gated exploration produces when many candidates
+// score the same workload while the machine pool is busy simulating —
+// must compute exactly once and hand every caller the identical profile.
+func TestProfileCacheDeterminismUnderPooling(t *testing.T) {
+	pc := NewProfileCache(nil, "")
+	const callers = 8
+	var wg sync.WaitGroup
+	encoded := make([]string, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := pc.Profile("gcc", 1, 10_000)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, err := p.Encode()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			encoded[i] = string(b)
+		}(i)
+	}
+	// Keep the simulator busy on the same workload concurrently: profile
+	// computation streams from the shared trace cache, and pooling must
+	// not perturb the summary.
+	cfg := core.MustPaperConfig(core.ArchRing, 4, 2, 1)
+	spec, err := workload.ParseSpec("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run := Execute(Request{Config: cfg, Workload: spec, Insts: 5_000, Warmup: 1_000}); run.Err != nil {
+		t.Fatal(run.Err)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if encoded[i] != encoded[0] {
+			t.Fatalf("caller %d saw a different profile", i)
+		}
+	}
+	st := pc.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (in-flight dedup)", st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, callers-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+
+	// A fresh cache recomputing from scratch must agree byte-for-byte:
+	// the profile is content, not an artifact of arrival order.
+	fresh := NewProfileCache(nil, "")
+	p, err := fresh.Profile("gcc", 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != encoded[0] {
+		t.Error("fresh cache computed a different profile")
+	}
+}
+
+// TestProfileCacheDiskLayer: with a directory attached, profiles persist
+// content-addressed and a second cache (a restart, or another fleet
+// process sharing the directory) loads them without recomputing.
+func TestProfileCacheDiskLayer(t *testing.T) {
+	dir := t.TempDir()
+	a := NewProfileCache(nil, filepath.Join(dir, "profiles"))
+	if err := a.SetDir(filepath.Join(dir, "profiles")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Profile("swim", 2, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := filepath.Join(dir, "profiles", p.Key()+".json")
+	got, err := os.ReadFile(onDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("persisted profile differs from the computed one")
+	}
+
+	b := NewProfileCache(nil, filepath.Join(dir, "profiles"))
+	q, err := b.Profile("swim", 2, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(qb) != string(want) {
+		t.Error("disk-loaded profile differs from the computed one")
+	}
+	st := b.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("second cache: disk hits %d, misses %d; want 1, 0", st.DiskHits, st.Misses)
+	}
+
+	// A corrupt entry is recomputed and healed, not served.
+	if err := os.WriteFile(onDisk, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewProfileCache(nil, filepath.Join(dir, "profiles"))
+	r, err := c.Profile("swim", 2, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rb) != string(want) {
+		t.Error("recomputed profile differs after corruption")
+	}
+	if healed, err := os.ReadFile(onDisk); err != nil || string(healed) != string(want) {
+		t.Errorf("corrupt entry not healed on disk (err %v)", err)
+	}
+}
+
+// TestProfileSpecMatchesHarnessAccounting: the profile window must equal
+// what Execute simulates — warm-up share plus measured budget per stream
+// — or the twin scores a different trace than the simulator runs.
+func TestProfileSpecMatchesHarnessAccounting(t *testing.T) {
+	pc := NewProfileCache(nil, "")
+	spec, err := workload.ParseSpec("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pc.ProfileSpec(spec, 10_000, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts != 12_000 {
+		t.Errorf("single-stream profile covers %d insts, want 12000 (warmup+insts)", p.Insts)
+	}
+	multi, err := workload.ParseSpec("gcc+swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pc.ProfileSpec(multi, 10_000, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stream runs the full measured budget plus its warm-up share
+	// (2 × 10_000 + 2_000), exactly Execute's multi-stream accounting.
+	if m.Insts != 22_000 {
+		t.Errorf("two-stream profile covers %d insts, want 22000", m.Insts)
+	}
+}

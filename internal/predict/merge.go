@@ -1,0 +1,72 @@
+package predict
+
+import "strings"
+
+// Merge combines per-stream profiles into one workload-level profile for
+// a multi-programmed mix: counters add (the streams share one machine,
+// so their demands accumulate), while the dataflow critical path takes
+// the maximum (independent streams overlap, so the longest chain is the
+// ILP limit). Address-range fields widen to cover every stream. Merge of
+// a single profile returns it unchanged.
+func Merge(profiles []*Profile) *Profile {
+	if len(profiles) == 1 {
+		return profiles[0]
+	}
+	out := &Profile{Schema: SchemaV1}
+	names := make([]string, 0, len(profiles))
+	for _, p := range profiles {
+		names = append(names, p.Program)
+		out.Insts += p.Insts
+		for c := range p.Classes {
+			out.Classes[c] += p.Classes[c]
+		}
+		out.Branches += p.Branches
+		out.Taken += p.Taken
+		out.Mispredicts += p.Mispredicts
+		out.DepOperands += p.DepOperands
+		for b := range p.DepDist {
+			out.DepDist[b] += p.DepDist[b]
+		}
+		if p.CritPath > out.CritPath {
+			out.CritPath = p.CritPath
+		}
+		out.MemRefs += p.MemRefs
+		out.ColdLines += p.ColdLines
+		out.Lines64 += p.Lines64
+		if out.AddrLo == 0 || (p.AddrLo != 0 && p.AddrLo < out.AddrLo) {
+			out.AddrLo = p.AddrLo
+		}
+		if p.AddrHi > out.AddrHi {
+			out.AddrHi = p.AddrHi
+		}
+		for b := range p.Reuse {
+			out.Reuse[b] += p.Reuse[b]
+		}
+		out.Ring = mergeSteer(out.Ring, p.Ring)
+		out.Conv = mergeSteer(out.Conv, p.Conv)
+	}
+	out.Program = strings.Join(names, "+")
+	return out
+}
+
+// mergeSteer accumulates steering profiles element-wise; profiles are
+// produced in ClusterCounts order so positions line up.
+func mergeSteer(dst, src []SteerProfile) []SteerProfile {
+	if dst == nil {
+		dst = make([]SteerProfile, len(src))
+		for i, s := range src {
+			dst[i] = SteerProfile{Clusters: s.Clusters, Comms: s.Comms, Hops: append([]uint64(nil), s.Hops...)}
+		}
+		return dst
+	}
+	for i, s := range src {
+		if i >= len(dst) || dst[i].Clusters != s.Clusters {
+			continue
+		}
+		dst[i].Comms += s.Comms
+		for h := range s.Hops {
+			dst[i].Hops[h] += s.Hops[h]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,296 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Model is the closed-form IPC predictor: a CPI stack assembled from a
+// Profile and a core.Config in a few hundred nanoseconds. The exported
+// fields are calibration constants; DefaultModel returns values fitted
+// against the simulator on the default exploration axes (see
+// docs/performance.md, "Analytical twin").
+//
+// The stack is
+//
+//	CPI = max(front-end, issue, dataflow) + branch + memory + comm
+//
+// where the max term is the steady-state bound (fetch/commit width,
+// per-side issue bandwidth across clusters, and the trace's dataflow
+// critical path), and the additive terms charge mispredict redirects,
+// load misses derated by memory-level parallelism, and inter-cluster
+// value communications including bus queueing at high utilization. The
+// comm terms come from the profile's steering twin at the configured
+// cluster count and architecture, so ring vs conventional bypassing and
+// one vs two buses rank on their actual hop-distance distributions.
+type Model struct {
+	// IssueUtil derates theoretical issue bandwidth C×IW for scheduling
+	// and steering imbalance (0..1].
+	IssueUtil float64
+	// BranchPenalty is the charged redirect cost per mispredict, cycles.
+	BranchPenalty float64
+	// CommSerial is the fraction of each communication's latency that
+	// lands on the critical path (most comms overlap with other work).
+	CommSerial float64
+	// ArbLatency is the extra cycles a conventional-machine bus transfer
+	// pays for request/arbitration before it moves; the ring's staggered
+	// writeback needs none.
+	ArbLatency float64
+	// BusOcc is the bus-slot occupancy per hop: how many cycles of a
+	// ring-segment slot one transfer consumes, folding reservation and
+	// re-try overhead into the queueing model's utilization.
+	BusOcc float64
+	// WbContention charges the second same-direction bus's deliveries
+	// against the consumer cluster's write ports: per delivered value,
+	// scaled down by issue width (wider clusters absorb the burst).
+	WbContention float64
+	// MLP is the peak memory-level parallelism of independent misses
+	// under the out-of-order window. The effective divisor is
+	// 1 + MLP×exp(−ChainDecay×chainFrac), where chainFrac is the
+	// profile's fraction of references whose address came from a load:
+	// pointer chasing serializes misses and collapses the overlap.
+	MLP float64
+	// ChainDecay is the exponential sensitivity of MLP to the
+	// pointer-chasing fraction.
+	ChainDecay float64
+	// CapFactor derates nominal cache capacity (lines) to an effective
+	// reuse-distance threshold, folding associativity conflicts and the
+	// refs-vs-unique-lines gap of the reuse histogram.
+	CapFactor float64
+	// LoadMissBase is charged per L1 load miss on top of the hierarchy's
+	// L2 hit time (transit, fill, scheduler replay).
+	LoadMissBase float64
+	// WindowCPI is the window-limited dataflow charge: cycles per
+	// short-range dependence (producer within 16 dynamic instructions) at
+	// the reference aggregate window of 256 queue entries. Larger windows
+	// (more clusters × deeper queues) overlap more of these stalls; the
+	// charge scales with 1/sqrt(window), the classic window-vs-ILP law.
+	WindowCPI float64
+}
+
+// DefaultModel returns the calibrated constants: a staged grid search
+// against the simulator over the default exploration axes (16
+// configurations × 26 workloads at 300k instructions), landing at 13.2%
+// IPC MAPE with the measured per-area-group winner ranked first
+// everywhere (see docs/performance.md, "Analytical twin").
+func DefaultModel() Model {
+	return Model{
+		IssueUtil:     0.7,
+		BranchPenalty: 30,
+		CommSerial:    0.075,
+		ArbLatency:    4,
+		BusOcc:        22,
+		WbContention:  0.8,
+		MLP:           150,
+		ChainDecay:    8,
+		CapFactor:     1.0,
+		LoadMissBase:  0,
+		WindowCPI:     4,
+	}
+}
+
+// Prediction is one twin score with its CPI stack, for explainability in
+// tests and docs.
+type Prediction struct {
+	IPC float64 `json:"ipc"`
+
+	CPIBase   float64 `json:"cpi_base"`
+	CPIBranch float64 `json:"cpi_branch"`
+	CPIMem    float64 `json:"cpi_mem"`
+	CPIComm   float64 `json:"cpi_comm"`
+
+	// CommsPerInst and MeanHops echo the steering-twin inputs used.
+	CommsPerInst float64 `json:"comms_per_inst"`
+	MeanHops     float64 `json:"mean_hops"`
+	// BusUtil is the converged bus-slot utilization (0..1).
+	BusUtil float64 `json:"bus_util"`
+}
+
+// PredictIPC scores one configuration against the profile.
+func (m Model) PredictIPC(p *Profile, cfg *core.Config) (Prediction, error) {
+	if p.Insts == 0 {
+		return Prediction{}, fmt.Errorf("predict: empty profile for %q", p.Program)
+	}
+	n := float64(p.Insts)
+	commsPerInst, meanHops := p.commModel(cfg)
+
+	// Steady-state bound: front-end width, per-side issue bandwidth
+	// across all clusters (derated), D-cache ports, and the trace's
+	// dataflow critical path (the ILP limit no machine beats).
+	front := math.Min(float64(cfg.FetchWidth), math.Min(float64(cfg.DispatchWidth), float64(cfg.CommitWidth)))
+	intOps, fpOps := p.sideOps()
+	cpiBase := 1 / front
+	cpiBase = math.Max(cpiBase, intOps/n/(float64(cfg.Clusters*cfg.IssueInt)*m.IssueUtil))
+	cpiBase = math.Max(cpiBase, fpOps/n/(float64(cfg.Clusters*cfg.IssueFP)*m.IssueUtil))
+	cpiBase = math.Max(cpiBase, float64(p.MemRefs)/n/float64(cfg.Mem.DCachePorts))
+	cpiBase = math.Max(cpiBase, float64(p.CritPath)/n)
+
+	// Window-limited dataflow: a finite window extracts only part of the
+	// trace's ILP. The charge scales with the dataflow critical-path rate
+	// (denser chains stall more) and shrinks with the aggregate window —
+	// more clusters mean more queue slots holding independent work —
+	// normalized to a 256-entry reference window.
+	window := float64(cfg.Clusters * (cfg.IQInt + cfg.IQFP))
+	cpiBase += m.WindowCPI * float64(p.CritPath) / n * 256 / window
+
+	cpiBranch := float64(p.Mispredicts) / n * m.BranchPenalty
+
+	// Memory: reuse-distance tail past each level's effective capacity,
+	// charged on loads only (store misses drain through the LSQ), with
+	// miss latencies overlapped by MLP.
+	loads := float64(p.Classes[isa.Load])
+	loadFrac := 0.0
+	if p.MemRefs > 0 {
+		loadFrac = loads / float64(p.MemRefs)
+	}
+	// Cold (first-touch) lines always miss L1. At L2 they only miss to
+	// the extent the working set overflows the cache: warmup has pulled
+	// the set into the L2, and a random first-touch line is still
+	// resident with probability capacity/working-set.
+	memRefs := math.Max(1, float64(p.MemRefs))
+	coldFrac := float64(p.ColdLines) / memRefs
+	l2Lines := float64(cfg.Mem.L2.SizeBytes/cfg.Mem.L1D.LineBytes) * m.CapFactor
+	coldL2 := 0.0
+	if ws := float64(p.ColdLines); ws > l2Lines {
+		coldL2 = coldFrac * (1 - l2Lines/ws)
+	}
+	missL1 := p.missPast(float64(cfg.Mem.L1D.SizeBytes/cfg.Mem.L1D.LineBytes)*m.CapFactor) + coldFrac
+	missL2 := p.missPast(l2Lines) + coldL2
+	l2Hit := float64(cfg.Mem.L2.HitLatency+cfg.Mem.L2InterchunkLatency) + m.LoadMissBase
+	chainFrac := float64(p.AddrChain) / memRefs
+	mlp := 1 + m.MLP*math.Exp(-m.ChainDecay*chainFrac)
+	cpiMem := loadFrac * (missL1*l2Hit + missL2*float64(cfg.Mem.L2MissLatency)) / mlp * float64(p.MemRefs) / n
+
+	// Communication: per-comm transfer latency (partially overlapped,
+	// plus arbitration on the conventional machine) and bus queueing.
+	// Slot demand per cycle is comm rate × hops × occupancy spread over
+	// Buses rings of Clusters segments; the M/D/1-style wait blows up as
+	// utilization approaches 1. A second same-direction bus relieves
+	// queueing but its deliveries contend for the consumer's write
+	// ports. IPC and the wait are mutually dependent, so iterate to a
+	// fixed point.
+	hopLat := float64(cfg.HopLatency)
+	arb := 0.0
+	if cfg.Arch == core.ArchConv {
+		arb = m.ArbLatency
+	}
+	capacity := float64(cfg.Buses * cfg.Clusters)
+	cpi := cpiBase + cpiBranch + cpiMem
+	var cpiComm, util float64
+	for i := 0; i < 8; i++ {
+		ipc := 1 / cpi
+		util = commsPerInst * ipc * meanHops * m.BusOcc / capacity
+		if util > 0.95 {
+			util = 0.95
+		}
+		wait := hopLat * util * util / (1 - util)
+		cpiComm = commsPerInst * ((arb+meanHops*hopLat)*m.CommSerial + wait)
+		if cfg.Arch == core.ArchRing && cfg.Buses > 1 {
+			cpiComm += m.WbContention * float64(cfg.Buses-1) * commsPerInst * ipc / float64(cfg.Clusters*cfg.IssueInt)
+		}
+		next := cpiBase + cpiBranch + cpiMem + cpiComm
+		if math.Abs(next-cpi) < 1e-9 {
+			cpi = next
+			break
+		}
+		cpi = next
+	}
+
+	return Prediction{
+		IPC:          1 / cpi,
+		CPIBase:      cpiBase,
+		CPIBranch:    cpiBranch,
+		CPIMem:       cpiMem,
+		CPIComm:      cpiComm,
+		CommsPerInst: commsPerInst,
+		MeanHops:     meanHops,
+		BusUtil:      util,
+	}, nil
+}
+
+// sideOps splits the mix into the int and FP issue sides (loads, stores
+// and branches issue on the int side, as in the machine).
+func (p *Profile) sideOps() (intOps, fpOps float64) {
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if c.IsFP() {
+			fpOps += float64(p.Classes[c])
+		} else {
+			intOps += float64(p.Classes[c])
+		}
+	}
+	return intOps, fpOps
+}
+
+// missPast estimates the capacity miss ratio of a cache holding `lines`
+// 32-byte lines: the reuse-histogram tail at stack distances beyond the
+// capacity, over all references. Cold misses are not included — the
+// caller decides which level pays for first touches.
+func (p *Profile) missPast(lines float64) float64 {
+	if p.MemRefs == 0 {
+		return 0
+	}
+	var far float64
+	for b := 0; b < ReuseBuckets; b++ {
+		if math.Exp2(float64(b)) >= lines {
+			far += float64(p.Reuse[b])
+		}
+	}
+	return far / float64(p.MemRefs)
+}
+
+// commModel resolves the steering twin for cfg's architecture, cluster
+// count and bus layout into (bus communications per instruction, mean
+// bus hops per communication). For the ring machine, distance-1 values
+// ride the staggered writeback ring for free, so only longer transfers
+// count, at d-1 hops each. Conventional machines move every value over
+// a bus at its full distance — the shorter direction when two opposed
+// buses exist. Cluster counts between profiled points interpolate
+// linearly.
+func (p *Profile) commModel(cfg *core.Config) (commsPerInst, meanHops float64) {
+	profs := p.Ring
+	if cfg.Arch == core.ArchConv {
+		profs = p.Conv
+	}
+	// Conventional machines with two buses run them in opposed
+	// directions, so each value travels the shorter way around.
+	minDir := cfg.Arch == core.ArchConv && cfg.Buses >= 2
+	at := func(s *SteerProfile) (float64, float64) {
+		if cfg.Arch == core.ArchRing {
+			c, h := s.ExtraHops()
+			return float64(c) / float64(p.Insts), h
+		}
+		h := s.MeanForwardHops()
+		if minDir {
+			h = s.MeanMinHops()
+		}
+		return float64(s.Comms) / float64(p.Insts), h
+	}
+	c := cfg.Clusters
+	var lo, hi *SteerProfile
+	for i := range profs {
+		s := &profs[i]
+		if s.Clusters <= c && (lo == nil || s.Clusters > lo.Clusters) {
+			lo = s
+		}
+		if s.Clusters >= c && (hi == nil || s.Clusters < hi.Clusters) {
+			hi = s
+		}
+	}
+	switch {
+	case lo == nil && hi == nil:
+		return 0, 0
+	case lo == nil:
+		return at(hi)
+	case hi == nil:
+		return at(lo)
+	case lo == hi:
+		return at(lo)
+	}
+	cl, hl := at(lo)
+	ch, hh := at(hi)
+	t := float64(c-lo.Clusters) / float64(hi.Clusters-lo.Clusters)
+	return cl + t*(ch-cl), hl + t*(hh-hl)
+}

@@ -1,0 +1,526 @@
+// Package predict implements the analytical twin of the simulator: a
+// content-addressed trace summary profile plus a closed-form IPC model
+// that scores a (workload, configuration) pair in microseconds instead of
+// a full discrete-event run.
+//
+// The twin exists to gate the simulator during design-space exploration
+// (internal/dse): the model ranks every candidate of a space from one
+// cheap profile per workload, and only the predicted Pareto frontier and
+// its ε-neighborhood pay for real simulations. Predictions are estimates
+// — the model is calibrated, not exact — so every consumer records
+// predicted-vs-simulated error (MAPE) as a first-class metric.
+//
+// A Profile is a pure function of the first N instructions of a workload
+// stream: instruction mix, a dependence-distance histogram and the
+// infinite-resource dataflow critical path (ILP), the mispredict count of
+// the paper's own hybrid predictor model replayed over the branch stream,
+// a reuse-distance histogram over cache lines (working-set-derived miss
+// estimates), and — per candidate cluster count — the communication count
+// and ring hop-distance distribution of a lightweight steering twin that
+// mimics the dependence-based cluster assignment of both architectures.
+// Equal (program, seed, insts) triples produce byte-identical profiles,
+// so profiles are cached and shared exactly like materialized traces
+// (see harness.ProfileCache).
+package predict
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// SchemaV1 identifies the profile encoding; it is part of the content
+// key, so a model-visible change to profile semantics must bump it.
+const SchemaV1 = "ringsim-profile/1"
+
+// DepBuckets is the number of log2 buckets in the dependence-distance
+// histogram: bucket b counts consumed source operands whose producer ran
+// floor(log2(dist))==b dynamic instructions earlier (bucket 15 collects
+// everything ≥ 2^15).
+const DepBuckets = 16
+
+// ReuseBuckets is the number of log2 buckets in the memory reuse-distance
+// histogram: bucket b counts references whose LRU stack distance — the
+// number of distinct 32-byte lines touched since the previous access to
+// the same line — has floor(log2)==b. Stack distances are exact (Fenwick
+// tree over last-access times), so the tail past a cache's line count is
+// that fully-associative cache's miss count.
+const ReuseBuckets = 24
+
+// ClusterCounts are the cluster counts the steering twin is profiled at.
+// Model evaluations at other counts interpolate between the nearest two.
+var ClusterCounts = []int{2, 4, 8, 16}
+
+// SteerProfile is the communication behaviour of the lightweight steering
+// twin at one cluster count: how many consumed operands lived outside the
+// consumer's cluster, and the forward ring distance each such value had
+// to travel. Backward distances (the conventional machine's second bus
+// direction) are derivable: a forward distance d is a backward distance
+// clusters-d.
+type SteerProfile struct {
+	Clusters int `json:"clusters"`
+	// Comms counts source operands that needed an inter-cluster
+	// communication.
+	Comms uint64 `json:"comms"`
+	// Hops[d-1] counts communications at forward distance d (1..C-1).
+	Hops []uint64 `json:"hops"`
+}
+
+// MeanForwardHops is the mean forward ring distance per communication.
+func (s *SteerProfile) MeanForwardHops() float64 {
+	if s.Comms == 0 {
+		return 0
+	}
+	var total uint64
+	for i, c := range s.Hops {
+		total += uint64(i+1) * c
+	}
+	return float64(total) / float64(s.Comms)
+}
+
+// MeanMinHops is the mean distance per communication when both ring
+// directions are available (the conventional machine with two buses):
+// each communication travels min(d, C-d).
+func (s *SteerProfile) MeanMinHops() float64 {
+	if s.Comms == 0 {
+		return 0
+	}
+	var total uint64
+	for i, c := range s.Hops {
+		d := i + 1
+		if back := s.Clusters - d; back < d {
+			d = back
+		}
+		total += uint64(d) * c
+	}
+	return float64(total) / float64(s.Comms)
+}
+
+// ExtraHops returns the communication rate and mean hop count of the
+// ring machine's bus traffic: distance-1 values arrive over the
+// staggered writeback ring for free, so only longer transfers occupy a
+// bus, each for d-1 hops. Returns (bus comms, mean extra hops).
+func (s *SteerProfile) ExtraHops() (uint64, float64) {
+	var comms, total uint64
+	for i, c := range s.Hops {
+		if i == 0 {
+			continue // distance 1: delivered by the writeback ring
+		}
+		comms += c
+		total += uint64(i) * c // d-1 hops
+	}
+	if comms == 0 {
+		return 0, 0
+	}
+	return comms, float64(total) / float64(comms)
+}
+
+// Profile is the content-addressed trace summary the analytical twin
+// scores configurations from. All counters cover exactly the first Insts
+// instructions of (Program, Seed); equal triples produce byte-identical
+// profiles.
+type Profile struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Insts   uint64 `json:"insts"`
+
+	// Classes is the instruction mix by isa.Class.
+	Classes [isa.NumClasses]uint64 `json:"classes"`
+
+	// Branch behaviour: counts plus the mispredicts of the paper's
+	// hybrid gshare/bimodal predictor model (bpred.DefaultConfig)
+	// replayed over the branch stream in commit order.
+	Branches    uint64 `json:"branches"`
+	Taken       uint64 `json:"taken"`
+	Mispredicts uint64 `json:"mispredicts"`
+
+	// Dependence structure: DepDist histograms the dynamic distance from
+	// each consumed source operand to its producer; CritPath is the
+	// dataflow critical path in cycles under Table-2 latencies with
+	// L1-hit loads and infinite resources — the trace's ILP limit.
+	DepOperands uint64             `json:"dep_operands"`
+	DepDist     [DepBuckets]uint64 `json:"dep_dist"`
+	CritPath    uint64             `json:"crit_path"`
+
+	// Memory behaviour: LRU stack-distance histogram over 32-byte lines
+	// (distinct lines between reuses), distinct-line counts and the
+	// touched address range. AddrChain counts references whose address
+	// register was produced by a load — the pointer-chasing signal that
+	// serializes misses and kills memory-level parallelism.
+	MemRefs   uint64               `json:"mem_refs"`
+	AddrChain uint64               `json:"addr_chain,omitempty"`
+	ColdLines uint64               `json:"cold_lines"`
+	Lines64   uint64               `json:"lines64"`
+	AddrLo    uint64               `json:"addr_lo,omitempty"`
+	AddrHi    uint64               `json:"addr_hi,omitempty"`
+	Reuse     [ReuseBuckets]uint64 `json:"reuse"`
+
+	// Ring and Conv are the steering-twin communication profiles per
+	// cluster count (ClusterCounts order) for the two architectures.
+	Ring []SteerProfile `json:"ring"`
+	Conv []SteerProfile `json:"conv"`
+}
+
+// Key returns the profile cache content key for a (program, seed, insts)
+// triple: a SHA-256 over the identifying tuple, in the same spirit as the
+// fleet's trace refs — equal workloads share profiles fleet-wide.
+func Key(program string, seed, insts uint64) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "%s|%s|%d|%d", SchemaV1, program, seed, insts))
+	return hex.EncodeToString(h[:])
+}
+
+// Key returns the profile's own content key.
+func (p *Profile) Key() string { return Key(p.Program, p.Seed, p.Insts) }
+
+// Encode marshals the profile (indented, trailing newline) for the disk
+// cache layer.
+func (p *Profile) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode unmarshals a profile and checks its schema.
+func Decode(b []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	if p.Schema != SchemaV1 {
+		return nil, fmt.Errorf("predict: profile schema %q (want %s)", p.Schema, SchemaV1)
+	}
+	return &p, nil
+}
+
+// MispredictRate returns modelled mispredicts per branch.
+func (p *Profile) MispredictRate() float64 {
+	if p.Branches == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Branches)
+}
+
+// steerState is one (architecture, cluster count) steering twin: a
+// value-home table per architectural register plus a windowed per-cluster
+// load counter approximating the machine's balance pressure (the ring
+// policy's free-register tie-break, DCOUNT for the conventional machine).
+// Following operands keeps chains local; the balance term diverts
+// assignments off overloaded clusters, which is where the conventional
+// machine pays communications the ring machine's rotating result homes
+// avoid.
+type steerState struct {
+	clusters int
+	ring     bool // ring: results land in the next cluster's register file
+	home     [2][isa.NumArchRegs]uint8
+	load     [16]uint32
+	tick     uint32
+	comms    uint64
+	hops     []uint64
+}
+
+// steerWindow is the balance decay period: every steerWindow
+// instructions the per-cluster load counters halve, so pressure reflects
+// the recent past like an occupancy count, not all history.
+const steerWindow = 64
+
+// steerBalance converts load imbalance into hop-equivalent cost: a
+// cluster steerBalance assignments busier than the idlest one looks one
+// forward hop worse to the steering choice.
+const steerBalance = 8
+
+// Summarizer accumulates a Profile one instruction at a time. Feed every
+// instruction of the stream in order via Observe, then call Finish once.
+// The zero value is not usable; construct with NewSummarizer.
+type Summarizer struct {
+	p    Profile
+	pred *bpred.Predictor
+
+	idx       uint64                     // dynamic instruction index (1-based after Observe)
+	lastDef   [2][isa.NumArchRegs]uint64 // producer index per register, 0 = none
+	ready     [2][isa.NumArchRegs]uint64 // dataflow completion cycle per register
+	defByLoad [2][isa.NumArchRegs]bool   // register last written by a load
+	critPath  uint64
+
+	refIdx   uint64            // memory reference index
+	lastRef  map[uint64]uint64 // 32B line -> last reference index (1-based)
+	fenwick  []uint64          // marks at last-access indices, for stack distances
+	seen64   map[uint64]struct{}
+	haveAddr bool
+
+	steer []steerState
+}
+
+// fenwickAdd adds delta at 1-based index i.
+func (s *Summarizer) fenwickAdd(i uint64, delta uint64) {
+	for ; i < uint64(len(s.fenwick)); i += i & (^i + 1) {
+		s.fenwick[i] += delta
+	}
+}
+
+// fenwickSum sums marks in [1, i].
+func (s *Summarizer) fenwickSum(i uint64) uint64 {
+	var t uint64
+	for ; i > 0; i -= i & (^i + 1) {
+		t += s.fenwick[i]
+	}
+	return t
+}
+
+// growFenwick extends the tree through index n. A new node covers
+// (k-lowbit(k), k], so it is seeded with the marks already in that range
+// (marks move backwards when lines are re-referenced, so the range can be
+// non-empty even for a fresh index).
+func (s *Summarizer) growFenwick(n uint64) {
+	if len(s.fenwick) == 0 {
+		s.fenwick = append(s.fenwick, 0) // slot 0 unused
+	}
+	for uint64(len(s.fenwick)) <= n {
+		k := uint64(len(s.fenwick))
+		v := s.fenwickSum(k-1) - s.fenwickSum(k-(k&(^k+1)))
+		s.fenwick = append(s.fenwick, v)
+	}
+}
+
+// loadLatency is the dataflow-pass latency of a load: address generation
+// plus the cluster transit and L1D hit time of the default hierarchy.
+const loadLatency = 4
+
+// NewSummarizer returns a Summarizer for one stream identified by the
+// canonical program name and seed override.
+func NewSummarizer(program string, seed uint64) *Summarizer {
+	s := &Summarizer{
+		pred:    bpred.New(bpred.DefaultConfig()),
+		lastRef: make(map[uint64]uint64),
+		seen64:  make(map[uint64]struct{}),
+	}
+	s.p.Schema = SchemaV1
+	s.p.Program = program
+	s.p.Seed = seed
+	for _, c := range ClusterCounts {
+		s.steer = append(s.steer, steerState{clusters: c, ring: true, hops: make([]uint64, c-1)})
+	}
+	for _, c := range ClusterCounts {
+		s.steer = append(s.steer, steerState{clusters: c, ring: false, hops: make([]uint64, c-1)})
+	}
+	return s
+}
+
+// Observe accumulates one instruction.
+func (s *Summarizer) Observe(in *isa.Inst) {
+	s.idx++
+	p := &s.p
+	p.Insts++
+	p.Classes[in.Class]++
+
+	// Branch behaviour through the paper's own predictor model, trained
+	// in order like the machine trains at commit.
+	if in.Class == isa.Branch {
+		p.Branches++
+		if in.Taken {
+			p.Taken++
+		}
+		if s.pred.Update(in.PC, in.Taken, in.Target) {
+			p.Mispredicts++
+		}
+	}
+
+	// Dependence distances and the dataflow critical path.
+	var buf [2]isa.Reg
+	srcs := in.SrcRegs(&buf)
+	var ready uint64
+	for _, r := range srcs {
+		if def := s.lastDef[r.Kind][r.Idx]; def != 0 {
+			p.DepOperands++
+			p.DepDist[logBucket(s.idx-def, DepBuckets)]++
+		}
+		if t := s.ready[r.Kind][r.Idx]; t > ready {
+			ready = t
+		}
+	}
+	lat := uint64(in.Class.Latency())
+	if in.Class == isa.Load {
+		lat = loadLatency
+	}
+	done := ready + lat
+	if in.Class.IsMem() {
+		for _, r := range srcs {
+			if s.defByLoad[r.Kind][r.Idx] {
+				p.AddrChain++
+				break
+			}
+		}
+	}
+	if in.WritesReg() {
+		s.lastDef[in.Dest.Kind][in.Dest.Idx] = s.idx
+		s.ready[in.Dest.Kind][in.Dest.Idx] = done
+		s.defByLoad[in.Dest.Kind][in.Dest.Idx] = in.Class == isa.Load
+	}
+	if done > s.critPath {
+		s.critPath = done
+	}
+
+	// Exact LRU stack distances over 32-byte (L1D) lines: each line keeps
+	// one Fenwick-tree mark at its last-access index, so the number of
+	// distinct lines touched since a line's previous access is the mark
+	// count past that index.
+	if in.Class.IsMem() {
+		s.refIdx++
+		p.MemRefs++
+		line := in.EffAddr >> 5
+		s.growFenwick(s.refIdx)
+		if last, ok := s.lastRef[line]; ok {
+			dist := uint64(len(s.lastRef)) - s.fenwickSum(last)
+			p.Reuse[logBucket(dist+1, ReuseBuckets)]++
+			s.fenwickAdd(last, ^uint64(0)) // move the mark: -1 at the old index
+		} else {
+			p.ColdLines++
+		}
+		s.fenwickAdd(s.refIdx, 1)
+		s.lastRef[line] = s.refIdx
+		if _, ok := s.seen64[in.EffAddr>>6]; !ok {
+			s.seen64[in.EffAddr>>6] = struct{}{}
+			p.Lines64++
+		}
+		if !s.haveAddr {
+			p.AddrLo, p.AddrHi = in.EffAddr, in.EffAddr
+			s.haveAddr = true
+		} else {
+			if in.EffAddr < p.AddrLo {
+				p.AddrLo = in.EffAddr
+			}
+			if in.EffAddr > p.AddrHi {
+				p.AddrHi = in.EffAddr
+			}
+		}
+	}
+
+	// Steering twins: mimic dependence-based cluster assignment for each
+	// (architecture, cluster count) pair and record every inter-cluster
+	// value movement with its forward ring distance.
+	for i := range s.steer {
+		s.steer[i].observe(in, srcs)
+	}
+}
+
+// observe advances one steering twin by one instruction: choose the
+// cluster minimizing communication hops weighted against recent load
+// imbalance, charge a communication for every operand living elsewhere,
+// and place the result (ring: next cluster's register file).
+func (st *steerState) observe(in *isa.Inst, srcs []isa.Reg) {
+	c := st.clusters
+	st.tick++
+	if st.tick >= steerWindow {
+		st.tick = 0
+		for i := 0; i < c; i++ {
+			st.load[i] >>= 1
+		}
+	}
+	minLoad := st.load[0]
+	for i := 1; i < c; i++ {
+		if st.load[i] < minLoad {
+			minLoad = st.load[i]
+		}
+	}
+	// Candidates: the operands' home clusters plus the idlest cluster.
+	// Cost is forward comm distance (in hop-equivalents) plus balance
+	// pressure; first-considered wins ties, so the choice is
+	// deterministic.
+	cost := func(cl int) uint32 {
+		var comm uint32
+		for _, r := range srcs {
+			if h := int(st.home[r.Kind][r.Idx]); h != cl {
+				comm += uint32(fwd(h, cl, c))
+			}
+		}
+		return comm*steerBalance + st.load[cl] - minLoad
+	}
+	chosen, bestCost := -1, uint32(0)
+	consider := func(cl int) {
+		if cl == chosen {
+			return
+		}
+		if co := cost(cl); chosen < 0 || co < bestCost {
+			chosen, bestCost = cl, co
+		}
+	}
+	for _, r := range srcs {
+		consider(int(st.home[r.Kind][r.Idx]))
+	}
+	for i := 0; i < c; i++ {
+		if st.load[i] == minLoad {
+			consider(i)
+			break
+		}
+	}
+	for _, r := range srcs {
+		if h := int(st.home[r.Kind][r.Idx]); h != chosen {
+			st.comms++
+			st.hops[fwd(h, chosen, c)-1]++
+		}
+	}
+	st.load[chosen]++
+	if in.WritesReg() {
+		res := chosen
+		if st.ring {
+			res = (chosen + 1) % c
+		}
+		st.home[in.Dest.Kind][in.Dest.Idx] = uint8(res)
+	}
+}
+
+// fwd is the forward ring distance from cluster a to cluster b.
+func fwd(a, b, n int) int { return ((b-a)%n + n) % n }
+
+// Finish seals the summary and returns the profile. The Summarizer must
+// not be used afterwards.
+func (s *Summarizer) Finish() *Profile {
+	if s.critPath == 0 {
+		s.critPath = 1
+	}
+	s.p.CritPath = s.critPath
+	for _, st := range s.steer {
+		sp := SteerProfile{Clusters: st.clusters, Comms: st.comms, Hops: st.hops}
+		if st.ring {
+			s.p.Ring = append(s.p.Ring, sp)
+		} else {
+			s.p.Conv = append(s.p.Conv, sp)
+		}
+	}
+	return &s.p
+}
+
+// logBucket buckets v >= 1 by floor(log2), saturating at max-1.
+func logBucket(v uint64, max int) int {
+	b := bits.Len64(v) - 1
+	if b >= max {
+		return max - 1
+	}
+	return b
+}
+
+// Summarize drains up to n instructions from the stream (0 = all) and
+// returns the finished profile.
+func Summarize(program string, seed uint64, s trace.Stream, n uint64) (*Profile, error) {
+	sum := NewSummarizer(program, seed)
+	for i := uint64(0); n == 0 || i < n; i++ {
+		in, err := s.Next()
+		if errors.Is(err, trace.ErrEnd) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum.Observe(&in)
+	}
+	return sum.Finish(), nil
+}

@@ -53,6 +53,13 @@ type exploreRequest struct {
 	// Insts and Warmup are the per-program harness scalars.
 	Insts  uint64 `json:"insts"`
 	Warmup uint64 `json:"warmup"`
+	// Twin gates the exploration with the analytical predictor: "on",
+	// "off", or "auto". Empty falls back to the server's -twin default.
+	Twin string `json:"twin,omitempty"`
+	// TwinEpsilon widens the twin's verification neighborhood
+	// (0 = dse.DefaultTwinEpsilon; negative = exactly the predicted
+	// frontier).
+	TwinEpsilon float64 `json:"twin_epsilon,omitempty"`
 }
 
 // exploreState tracks one exploration through its registry.
@@ -81,6 +88,14 @@ type exploreView struct {
 	Frontier     []dse.Point `json:"frontier"`
 	Points       []dse.Point `json:"points,omitempty"`
 	Error        string      `json:"error,omitempty"`
+
+	// Twin accounting, present only when the analytical twin gated this
+	// exploration (see internal/predict).
+	TwinMode        string  `json:"twin,omitempty"`
+	TwinPredictions int     `json:"predictions_total,omitempty"`
+	SimsAvoided     int     `json:"sims_avoided,omitempty"`
+	TwinVerified    int     `json:"twin_verified,omitempty"`
+	TwinMAPE        float64 `json:"twin_mape,omitempty"`
 }
 
 // snapshotReport projects a (running or final) dse report into the wire
@@ -97,6 +112,11 @@ func snapshotReport(v *exploreView, rep *dse.Report, includePoints bool) {
 	v.CacheHits = rep.CacheHits
 	v.CacheHitRate = rep.CacheHitRate()
 	v.Rounds = rep.Rounds
+	v.TwinMode = rep.TwinMode
+	v.TwinPredictions = rep.TwinPredictions
+	v.SimsAvoided = rep.SimsAvoided
+	v.TwinVerified = rep.TwinVerified
+	v.TwinMAPE = rep.TwinMAPE
 	v.Frontier = append([]dse.Point(nil), rep.Frontier...)
 	if includePoints {
 		v.Points = append([]dse.Point(nil), rep.Points...)
@@ -110,7 +130,7 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	space, strat, programs, err := s.resolveExplore(&er)
+	space, strat, programs, twin, err := s.resolveExplore(&er)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -151,23 +171,23 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ExploresSubmitted.Add(1)
 	s.journalManifestOpen(id, manifest)
 
-	go s.driveExplore(st, space, strat, programs, er)
+	go s.driveExplore(st, space, strat, programs, twin, er)
 	writeJSON(w, http.StatusAccepted, v)
 }
 
 // resolveExplore turns the wire request into a validated space, strategy,
-// and program list.
-func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []string, error) {
+// program list, and twin mode.
+func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []string, dse.TwinMode, error) {
 	base := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
 	if er.Base != nil {
 		var err error
 		if base, err = er.Base.resolve(); err != nil {
-			return dse.Space{}, nil, nil, fmt.Errorf("base: %w", err)
+			return dse.Space{}, nil, nil, "", fmt.Errorf("base: %w", err)
 		}
 	}
 	space := dse.Space{Base: base, Axes: er.Axes}
 	if err := space.Validate(); err != nil {
-		return dse.Space{}, nil, nil, err
+		return dse.Space{}, nil, nil, "", err
 	}
 	// Bound the grid: the exhaustive strategy materializes every point
 	// and the engine spawns a goroutine per batch member, so a huge
@@ -175,11 +195,25 @@ func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []
 	// (Space.Size saturates instead of overflowing, so the comparison is
 	// safe for any axis product.)
 	if space.Size() > maxExplorePoints {
-		return dse.Space{}, nil, nil, fmt.Errorf("space has %d points, limit %d: shrink an axis or use strategy random/climb over a sub-space", space.Size(), maxExplorePoints)
+		return dse.Space{}, nil, nil, "", fmt.Errorf("space has %d points, limit %d: shrink an axis or use strategy random/climb over a sub-space", space.Size(), maxExplorePoints)
 	}
 	strat, err := dse.NewStrategy(er.Strategy, er.Samples)
 	if err != nil {
-		return dse.Space{}, nil, nil, err
+		return dse.Space{}, nil, nil, "", err
+	}
+	// The request's twin field wins; empty inherits the server's -twin
+	// default. An impossible combination (twin=on with a non-grid
+	// strategy) is refused here, synchronously, not mid-exploration.
+	twinSpec := er.Twin
+	if twinSpec == "" {
+		twinSpec = s.opts.Twin
+	}
+	twin, err := dse.ParseTwinMode(twinSpec)
+	if err != nil {
+		return dse.Space{}, nil, nil, "", err
+	}
+	if _, err := (&dse.TwinOptions{Mode: twin}).Enabled(strat, space.Size()); err != nil {
+		return dse.Space{}, nil, nil, "", err
 	}
 	programs := er.Programs
 	if len(programs) == 0 {
@@ -190,20 +224,20 @@ func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []
 		// may be multi-stream specs or synthetic workloads.
 		spec, err := workload.ParseSpec(p)
 		if err != nil {
-			return dse.Space{}, nil, nil, err
+			return dse.Space{}, nil, nil, "", err
 		}
 		if err := spec.Validate(); err != nil {
-			return dse.Space{}, nil, nil, err
+			return dse.Space{}, nil, nil, "", err
 		}
 	}
 	if er.Insts == 0 {
-		return dse.Space{}, nil, nil, errors.New("insts must be positive")
+		return dse.Space{}, nil, nil, "", errors.New("insts must be positive")
 	}
-	return space, strat, programs, nil
+	return space, strat, programs, twin, nil
 }
 
 // driveExplore runs the engine to completion and finalizes the state.
-func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strategy, programs []string, er exploreRequest) {
+func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strategy, programs []string, twin dse.TwinMode, er exploreRequest) {
 	defer s.exploreWG.Done()
 	ev := &queueEvaluator{s: s, programs: programs, insts: er.Insts, warmup: er.Warmup}
 	rep, err := dse.Explore(dse.Options{
@@ -213,12 +247,24 @@ func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strat
 		Budget:      er.Budget,
 		Seed:        er.Seed,
 		Concurrency: s.opts.Workers,
+		Twin: &dse.TwinOptions{
+			Mode:     twin,
+			Epsilon:  er.TwinEpsilon,
+			Programs: programs,
+			Insts:    er.Insts,
+			Warmup:   er.Warmup,
+		},
 		Observer: func(rep *dse.Report) {
 			s.mu.Lock()
 			snapshotReport(&st.view, rep, false)
 			s.mu.Unlock()
 		},
 	})
+	if rep != nil && rep.TwinMode != "" {
+		s.metrics.TwinPredictions.Add(uint64(rep.TwinPredictions))
+		s.metrics.TwinSimsAvoided.Add(uint64(rep.SimsAvoided))
+		s.metrics.observeTwinMAPE(rep.TwinMAPE)
+	}
 	s.mu.Lock()
 	if rep != nil {
 		snapshotReport(&st.view, rep, true)

@@ -49,6 +49,28 @@ type Metrics struct {
 	// ExploreCacheHits counts exploration program runs answered without
 	// a new simulation.
 	ExploreCacheHits atomic.Uint64
+	// TwinPredictions counts closed-form twin scorings (one per program
+	// per candidate of a twin-gated exploration).
+	TwinPredictions atomic.Uint64
+	// TwinSimsAvoided counts program simulations the twin gate skipped
+	// (candidates predicted off-frontier that never reached the queue).
+	TwinSimsAvoided atomic.Uint64
+	// TwinExplores counts twin-gated explorations completed; denominator
+	// of the mean MAPE gauge.
+	TwinExplores atomic.Uint64
+	// twinMapeMillis accumulates per-exploration predicted-vs-simulated
+	// MAPE in thousandths of a percent, so the mean stays integral and
+	// lock-free.
+	twinMapeMillis atomic.Uint64
+}
+
+// observeTwinMAPE folds one completed twin exploration's MAPE (percent)
+// into the running mean.
+func (m *Metrics) observeTwinMAPE(mapePct float64) {
+	m.TwinExplores.Add(1)
+	if mapePct > 0 {
+		m.twinMapeMillis.Add(uint64(mapePct * 1000))
+	}
 }
 
 // Snapshot is a point-in-time copy of the counters, JSON-encodable.
@@ -68,6 +90,11 @@ type Snapshot struct {
 	ExplorePoints     uint64 `json:"explore_points"`
 	ExploreSims       uint64 `json:"explore_sims"`
 	ExploreCacheHits  uint64 `json:"explore_cache_hits"`
+
+	TwinPredictions uint64  `json:"twin_predictions"`
+	TwinSimsAvoided uint64  `json:"twin_sims_avoided"`
+	TwinExplores    uint64  `json:"twin_explores"`
+	TwinMAPE        float64 `json:"twin_mape"`
 
 	// Fleet is the coordinator's pool snapshot; all zeros outside fleet
 	// mode.
@@ -120,9 +147,23 @@ func (m *Metrics) snapshot(queueLen, workers int, fs fleet.Stats, js journal.Sta
 		ExploreSims:       m.ExploreSims.Load(),
 		ExploreCacheHits:  m.ExploreCacheHits.Load(),
 
+		TwinPredictions: m.TwinPredictions.Load(),
+		TwinSimsAvoided: m.TwinSimsAvoided.Load(),
+		TwinExplores:    m.TwinExplores.Load(),
+		TwinMAPE:        meanTwinMAPE(m.twinMapeMillis.Load(), m.TwinExplores.Load()),
+
 		Fleet:   fs,
 		Journal: js,
 	}
+}
+
+// meanTwinMAPE recovers the mean percentage from the milli-percent
+// accumulator (0 before any twin exploration has completed).
+func meanTwinMAPE(millis, explores uint64) float64 {
+	if explores == 0 {
+		return 0
+	}
+	return float64(millis) / 1000 / float64(explores)
 }
 
 // latencyBuckets are the shared fixed histogram bounds (seconds) for
@@ -239,6 +280,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ringsimd_explore_points_total", "Design points scored by explorations.", "counter", snap.ExplorePoints},
 		{"ringsimd_explore_sims_total", "Simulations run on behalf of explorations.", "counter", snap.ExploreSims},
 		{"ringsimd_explore_cache_hits_total", "Exploration program runs served without simulating.", "counter", snap.ExploreCacheHits},
+		{"ringsimd_twin_predictions_total", "Closed-form analytical-twin candidate scorings.", "counter", snap.TwinPredictions},
+		{"ringsimd_twin_sims_avoided_total", "Program simulations the twin gate skipped.", "counter", snap.TwinSimsAvoided},
 		{"ringsimd_queue_len", "Jobs currently waiting in the queue.", "gauge", uint64(snap.QueueLen)},
 		{"ringsimd_workers", "Size of the simulation worker pool.", "gauge", uint64(snap.Workers)},
 		{"ringsimd_fleet_workers", "Remote fleet workers currently registered.", "gauge", uint64(snap.Fleet.Workers)},
@@ -254,6 +297,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ringsimd_journal_replayed_total", "Journal records replayed during startup recovery.", "counter", snap.Journal.Replayed},
 		{"ringsimd_journal_torn_total", "Truncated trailing journal records discarded at recovery.", "counter", snap.Journal.Torn},
 	}
+	// Twin profile cache: the analytical gate's trace summaries, cached
+	// on disk next to the result store so warm explorations skip the
+	// profiling pass too.
+	pc := harness.DefaultProfileCache.Stats()
+	rows = append(rows,
+		[]struct {
+			name, help, kind string
+			val              uint64
+		}{
+			{"ringsimd_profile_cache_entries", "Trace summary profiles resident in memory.", "gauge", uint64(pc.Entries)},
+			{"ringsimd_profile_cache_hits_total", "Profile requests served from memory.", "counter", pc.Hits},
+			{"ringsimd_profile_cache_disk_hits_total", "Profile requests served from the disk layer.", "counter", pc.DiskHits},
+			{"ringsimd_profile_cache_misses_total", "Profile requests that ran the summarizer.", "counter", pc.Misses},
+		}...)
 	// Trace-cache occupancy and service counters: with synthetic specs
 	// the workload space is unbounded, so trace generation is a
 	// first-class cost worth watching.
@@ -289,6 +346,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}{
 		{"ringsimd_cache_hit_ratio", "Fraction of answered run submissions served from the result store.", snap.CacheHitRatio()},
 		{"ringsimd_explore_cache_hit_ratio", "Fraction of exploration program runs that cost no new simulation.", snap.ExploreCacheHitRatio()},
+		{"ringsimd_twin_mape", "Mean predicted-vs-simulated IPC error (percent) across twin-gated explorations.", snap.TwinMAPE},
 	}
 	for _, r := range ratios {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", r.name, r.help, r.name, r.name, r.val)

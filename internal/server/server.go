@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dse"
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/journal"
@@ -89,6 +90,10 @@ type Options struct {
 	// MaxExplores bounds the exploration registry, evicting oldest
 	// first. Default: 256.
 	MaxExplores int
+	// Twin is the default analytical-twin mode ("on", "off", or "auto")
+	// for explorations whose request omits the twin field. Empty means
+	// off. Requests may override per-exploration.
+	Twin string
 	// Journal, when non-nil, makes the control plane crash-safe: every
 	// pending-pool mutation is journaled, sweeps and explorations
 	// persist durable manifests under their client-visible ids, and New
@@ -220,6 +225,11 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Batch <= 0 {
 		opts.Batch = harness.DefaultBatchSize()
+	}
+	// Fail a misspelled default twin mode at startup, not on the first
+	// exploration that tries to inherit it.
+	if _, err := dse.ParseTwinMode(opts.Twin); err != nil {
+		return nil, err
 	}
 	s := &Server{
 		opts:          opts,

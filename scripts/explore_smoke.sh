@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# Analytical-twin exploration smoke: run a twin-gated `ringsim explore`
+# twice over one disk cache and assert the gate actually gates — both
+# passes must avoid simulations relative to the exhaustive space, the
+# warm pass must be answered entirely from the result store (plus the
+# persisted profile cache), and the two passes must print byte-identical
+# Pareto frontiers. A third exhaustive pass cross-checks that the twin's
+# frontier is the real one, not just a stable wrong answer.
+#
+#   scripts/explore_smoke.sh [INSTS] [WARMUP]
+#
+# Exits non-zero on any assertion failure. Used by the CI explore-smoke
+# job; instruction budgets are reduced there, so this checks gating
+# mechanics and determinism — the calibration-scale accuracy numbers
+# live in the TwinExplore benchmark (BENCH_6.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+INSTS="${1:-20000}"
+WARMUP="${2:-4000}"
+AXES='arch=ring,conv;clusters=4,8'
+PROGS='gcc,swim'
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "explore-smoke: building ringsim"
+go build -o "$TMP/bin/" ./cmd/ringsim
+
+run_explore() {
+    # $1 = output log, remaining args appended to the explore command.
+    out="$1"; shift
+    "$TMP/bin/ringsim" explore -axes "$AXES" -clusters 4 -progs "$PROGS" \
+        -insts "$INSTS" -warmup "$WARMUP" -cache-dir "$TMP/cache" "$@" \
+        >"$out" 2>&1 \
+        || { echo "explore-smoke: FAIL: ringsim explore"; cat "$out"; exit 1; }
+}
+
+twinline() {
+    # "twin: P predictions, A sims avoided, V candidates verified, ..."
+    sed -n 's/^twin: \([0-9][0-9]*\) predictions, \([0-9][0-9]*\) sims avoided, \([0-9][0-9]*\) candidates verified.*/\1 \2 \3/p' "$1"
+}
+
+echo "explore-smoke: twin pass 1 (cold cache)"
+run_explore "$TMP/pass1.log" -twin on
+set -- $(twinline "$TMP/pass1.log")
+PRED1="${1:-}" AVOID1="${2:-}" VER1="${3:-}"
+[ -n "$PRED1" ] || { echo "explore-smoke: FAIL: no twin summary in pass 1"; cat "$TMP/pass1.log"; exit 1; }
+echo "explore-smoke: pass 1: $PRED1 predictions, $AVOID1 sims avoided, $VER1 verified"
+[ "$PRED1" -gt 0 ] || { echo "explore-smoke: FAIL: twin made no predictions"; exit 1; }
+[ "$AVOID1" -gt 0 ] || { echo "explore-smoke: FAIL: cold twin pass avoided no simulations"; exit 1; }
+
+echo "explore-smoke: twin pass 2 (warm cache)"
+run_explore "$TMP/pass2.log" -twin on
+set -- $(twinline "$TMP/pass2.log")
+PRED2="${1:-}" AVOID2="${2:-}" VER2="${3:-}"
+echo "explore-smoke: pass 2: $PRED2 predictions, $AVOID2 sims avoided, $VER2 verified"
+[ "${AVOID2:-0}" -gt 0 ] || { echo "explore-smoke: FAIL: warm twin pass avoided no simulations"; exit 1; }
+grep -q 'simulations: 0 run' "$TMP/pass2.log" \
+    || { echo "explore-smoke: FAIL: warm pass ran fresh simulations (expected 100% store hits)"; cat "$TMP/pass2.log"; exit 1; }
+
+# Determinism: the two twin passes must print byte-identical frontiers.
+sed -n '/^Pareto frontier/,$p' "$TMP/pass1.log" >"$TMP/front1"
+sed -n '/^Pareto frontier/,$p' "$TMP/pass2.log" >"$TMP/front2"
+cmp -s "$TMP/front1" "$TMP/front2" \
+    || { echo "explore-smoke: FAIL: twin passes printed different frontiers"; diff "$TMP/front1" "$TMP/front2" || true; exit 1; }
+
+echo "explore-smoke: exhaustive cross-check (-twin off)"
+run_explore "$TMP/exact.log" -twin off
+grep -q '^twin:' "$TMP/exact.log" \
+    && { echo "explore-smoke: FAIL: -twin off printed twin accounting"; cat "$TMP/exact.log"; exit 1; }
+sed -n '/^Pareto frontier/,$p' "$TMP/exact.log" >"$TMP/front3"
+cmp -s "$TMP/front1" "$TMP/front3" \
+    || { echo "explore-smoke: FAIL: twin frontier differs from the exhaustive frontier"; diff "$TMP/front1" "$TMP/front3" || true; exit 1; }
+
+# The twin must also reject bad knob values with an actionable error.
+if "$TMP/bin/ringsim" explore -axes "$AXES" -progs "$PROGS" -twin fast >"$TMP/bad.log" 2>&1; then
+    echo "explore-smoke: FAIL: -twin fast was accepted"; exit 1
+fi
+grep -q 'legal values: on, off, auto' "$TMP/bad.log" \
+    || { echo "explore-smoke: FAIL: bad -twin error does not list legal values"; cat "$TMP/bad.log"; exit 1; }
+
+echo "explore-smoke: PASS"
