@@ -21,6 +21,7 @@ func BenchmarkTable1AreaModel(b *testing.B)   { bench.Table1AreaModel(b) }
 func BenchmarkSection32Layout(b *testing.B)   { bench.Section32Layout(b) }
 func BenchmarkFig6Speedup(b *testing.B)       { bench.Fig6Speedup(b) }
 func BenchmarkBatchedGrid(b *testing.B)       { bench.BatchedGrid(b) }
+func BenchmarkSampledGrid(b *testing.B)       { bench.SampledGrid(b) }
 func BenchmarkFig7Comms(b *testing.B)         { bench.Fig7Comms(b) }
 func BenchmarkFig8Distance(b *testing.B)      { bench.Fig8Distance(b) }
 func BenchmarkFig9Contention(b *testing.B)    { bench.Fig9Contention(b) }

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/results"
+	"repro/internal/version"
 )
 
 func main() {
@@ -50,7 +51,13 @@ func main() {
 	fleetSecret := flag.String("fleet-secret", "", "shared secret matching the coordinator's -fleet-secret")
 	memEntries := flag.Int("mem-entries", 1024, "in-memory LRU in front of -cache-dir (entries)")
 	batch := flag.Int("batch", 0, "max leased runs advanced in lockstep over one shared trace (0 = auto, 1 = disable batching)")
+	showVersion := flag.Bool("version", false, "print the build revision and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Revision())
+		return
+	}
 
 	var store results.Store
 	if *cacheDir != "" {

@@ -40,10 +40,15 @@ func exploreMain(args []string) {
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (shareable with ringsimd)")
 	twin := fs.String("twin", "off", "analytical-twin gate: on, off, or auto (on scores the space closed-form and simulates only the predicted frontier + ε-neighborhood)")
 	twinEps := fs.Float64("twin-eps", 0, "twin verification neighborhood (relative IPC slack; 0 = default, negative = exactly the predicted frontier)")
+	fidelity := fs.String("fidelity", "exact", "search-tier fidelity: exact, sampled, or sampled(interval,window,warm); the final frontier is always re-scored exactly")
 	asJSON := fs.Bool("json", false, "emit the full exploration report as JSON")
 	fs.Parse(args)
 
 	twinMode, err := dse.ParseTwinMode(*twin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sampling, err := harness.ParseFidelity(*fidelity)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -113,6 +118,7 @@ func exploreMain(args []string) {
 		Evaluator: &dse.SimEvaluator{Programs: names, Insts: *insts, Warmup: *warmup, Store: store},
 		Budget:    *budget,
 		Seed:      *seed,
+		Sampling:  sampling,
 		Twin: &dse.TwinOptions{
 			Mode:     twinMode,
 			Epsilon:  *twinEps,
@@ -144,6 +150,10 @@ func printReport(rep *dse.Report) {
 	if rep.TwinMode != "" {
 		fmt.Printf("twin: %d predictions, %d sims avoided, %d candidates verified, MAPE %.1f%%\n",
 			rep.TwinPredictions, rep.SimsAvoided, rep.TwinVerified, rep.TwinMAPE)
+	}
+	if rep.Fidelity != "" {
+		fmt.Printf("fidelity: %s search tier (%d sampled sims), %d frontier candidates confirmed exact\n",
+			rep.Fidelity, rep.SampledSims, rep.ExactConfirms)
 	}
 	fmt.Printf("Pareto frontier (%d points, IPC maximized, area minimized):\n", len(rep.Frontier))
 	fmt.Printf("%-46s %8s %14s\n", "config", "IPC", "area (λ²)")

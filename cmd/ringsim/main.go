@@ -10,11 +10,12 @@
 //	ringsim [-arch ring|conv] [-clusters 4|8] [-iw 1|2] [-buses 1|2]
 //	        [-hop N] [-steer enhanced|ssa] [-insts N] [-warmup N]
 //	        [-progs spec,spec,...|all|int|fp] [-programs a,b,...]
-//	        [-v] [-json]
+//	        [-fidelity exact|sampled|sampled(i,w,warm)] [-v] [-json]
 //
 //	ringsim explore [-axes SPEC] [-strategy grid|random|climb]
 //	        [-budget N] [-samples N] [-seed N] [-progs ...]
-//	        [-insts N] [-warmup N] [-cache-dir DIR] [-json]
+//	        [-insts N] [-warmup N] [-cache-dir DIR]
+//	        [-fidelity exact|sampled|sampled(i,w,warm)] [-json]
 //
 //	ringsim attach [-addr URL] [-interval D] [-json] <id>
 //
@@ -28,6 +29,11 @@
 // The explore subcommand searches a configuration space for the
 // IPC × area Pareto frontier (see internal/dse); it shares the search
 // engine and content-addressed caching with ringsimd's /v1/explore.
+//
+// -fidelity sampled alternates short detailed windows with functional
+// fast-forward (see docs/performance.md): runs report extrapolated
+// statistics with an IPC confidence interval, and explore runs its
+// search tier sampled while re-scoring the final frontier exactly.
 //
 // The attach subcommand re-attaches to in-flight or finished ringsimd
 // work by its durable id (sweep-…, explore-…, or a 64-hex run key) and
@@ -52,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/results"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -81,7 +88,19 @@ func main() {
 	verbose := flag.Bool("v", false, "print extra statistics")
 	asJSON := flag.Bool("json", false, "emit results as JSON (internal/results encoding)")
 	batch := flag.Int("batch", 0, "max configs advanced in lockstep over one shared trace (0 = auto, 1 = disable batching)")
+	fidelity := flag.String("fidelity", "exact", "execution fidelity: exact, sampled, or sampled(interval,window,warm)")
+	showVersion := flag.Bool("version", false, "print the build revision and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Revision())
+		return
+	}
+	sampling, err := harness.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(2)
+	}
 
 	archKind := core.ArchRing
 	if strings.EqualFold(*arch, "conv") {
@@ -136,27 +155,34 @@ func main() {
 		}
 	}
 
-	res, err := harness.GridN([]core.Config{cfg}, names, *insts, *warmup, *batch)
+	res, err := harness.GridSampledN([]core.Config{cfg}, names, *insts, *warmup, *batch, sampling)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ringsim:", err)
 		os.Exit(1)
 	}
 	if *asJSON {
-		if err := emitJSON(cfg, names, *insts, *warmup, res); err != nil {
+		if err := emitJSON(cfg, names, *insts, *warmup, sampling, res); err != nil {
 			fmt.Fprintln(os.Stderr, "ringsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	fmt.Printf("configuration: %s\n", cfg.Name)
+	if sampling.Enabled() {
+		fmt.Printf("fidelity: %s\n", sampling.String())
+	}
 	fmt.Printf("%-10s %7s %8s %7s %7s %8s %8s\n",
 		"workload", "IPC", "comms/i", "dist", "wait", "NREADY", "mispred")
 	for _, p := range names {
 		r := res[harness.Key{Config: cfg.Name, Workload: p}]
 		st := r.Stats
-		fmt.Printf("%-10s %7.3f %8.3f %7.2f %7.2f %8.2f %7.1f%%\n",
+		fmt.Printf("%-10s %7.3f %8.3f %7.2f %7.2f %8.2f %7.1f%%",
 			p, st.IPC(), st.CommsPerInst(), st.AvgCommDistance(),
 			st.AvgCommWait(), st.AvgNReady(), 100*st.MispredictRate())
+		if r.Sampled != nil {
+			fmt.Printf("  ±%.3f", r.Sampled.IPCCI)
+		}
+		fmt.Println()
 		for i, ss := range st.PerStream {
 			fmt.Printf("  stream %d %7.3f  committed=%d mispred=%.1f%%\n",
 				i, ss.IPC(st.Cycles), ss.Committed, 100*ss.MispredictRate())
@@ -176,8 +202,8 @@ func main() {
 
 // emitJSON renders the run set as internal/results records, in program
 // order, on stdout.
-func emitJSON(cfg core.Config, names []string, insts, warmup uint64, res map[harness.Key]harness.Run) error {
-	reqs, err := harness.Expand([]core.Config{cfg}, names, insts, warmup)
+func emitJSON(cfg core.Config, names []string, insts, warmup uint64, sampling harness.Sampling, res map[harness.Key]harness.Run) error {
+	reqs, err := harness.ExpandSampled([]core.Config{cfg}, names, insts, warmup, sampling)
 	if err != nil {
 		return err
 	}

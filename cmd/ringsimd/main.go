@@ -11,8 +11,17 @@
 //	ringsimd [-addr :8080] [-workers N] [-queue N] [-batch N]
 //	         [-cache-dir DIR] [-cache-max-bytes N] [-mem-entries N]
 //	         [-journal-dir DIR] [-twin on|off|auto]
+//	         [-fidelity exact|sampled|sampled(i,w,warm)]
 //	         [-pprof-addr HOST:PORT] [-fleet] [-fleet-secret S]
 //	         [-lease-ttl 30s] [-heartbeat 10s]
+//
+// With -fidelity sampled, runs default to interval sampling: short
+// detailed windows alternate with functional fast-forward and results
+// carry confidence intervals (docs/performance.md). Requests override
+// per-submission with their "fidelity" field; explorations run their
+// search tier at the sampled fidelity and re-score the final frontier
+// exactly. Sampled results key distinctly in the cache, so the two
+// fidelities never contaminate each other.
 //
 // With -twin the analytical twin (internal/predict) gates explorations
 // by default: the closed-form model scores the whole space and only the
@@ -74,6 +83,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/results"
 	"repro/internal/server"
+	"repro/internal/version"
 )
 
 func main() {
@@ -91,8 +101,14 @@ func main() {
 	fleetSecret := flag.String("fleet-secret", "", "shared secret required on every /v1/fleet call (empty = unauthenticated)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "fleet: how long a worker holds a leased job without heartbeating before it is requeued")
 	heartbeat := flag.Duration("heartbeat", 0, "fleet: heartbeat cadence assigned to workers (0 = lease-ttl/3)")
+	fidelity := flag.String("fidelity", "exact", "default execution fidelity for runs, sweeps, and explorations: exact, sampled, or sampled(interval,window,warm); requests may override per-submission")
+	showVersion := flag.Bool("version", false, "print the build revision and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Revision())
+		return
+	}
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
@@ -114,7 +130,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	opts := server.Options{Workers: *workers, QueueDepth: *queue, Batch: *batch, Store: store, FleetSecret: *fleetSecret, Twin: *twin}
+	opts := server.Options{Workers: *workers, QueueDepth: *queue, Batch: *batch, Store: store, FleetSecret: *fleetSecret, Twin: *twin, Fidelity: *fidelity}
 	if *fleetMode {
 		opts.Fleet = &fleet.CoordinatorOptions{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeat}
 	} else if *workers < 0 {

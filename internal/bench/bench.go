@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"testing"
 	"time"
@@ -237,6 +238,62 @@ func BatchedGrid(b *testing.B) {
 	for _, size := range sizes {
 		b.ReportMetric(rates[size], fmt.Sprintf("batch%d-inst/s", size))
 	}
+}
+
+// SampledGrid is the sampled-fidelity acceptance benchmark: the Figure-6
+// grid at a 1M-instruction budget run exact and then with
+// DefaultSampling, reporting both simulation rates, the wall-clock
+// speedup, and the mean/max absolute IPC error of the sampled estimates
+// against the exact grid. The trajectory gates on speedup ≥5× at mean
+// error ≤2% (docs/performance.md).
+func SampledGrid(b *testing.B) {
+	const (
+		insts  = 1_000_000
+		warmup = 100_000
+	)
+	cfgs := harness.PaperConfigs()
+	names := workload.Names()
+	var exactRate, sampledRate, speedup, meanErr, maxErr float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		exact, err := harness.Grid(cfgs, names, insts, warmup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exactSec := time.Since(start).Seconds()
+		start = time.Now()
+		sampled, err := harness.GridSampledN(cfgs, names, insts, warmup, 0, harness.DefaultSampling)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampledSec := time.Since(start).Seconds()
+		var sumErr float64
+		maxErr = 0
+		for k, er := range exact {
+			sr, ok := sampled[k]
+			if !ok {
+				b.Fatalf("sampled grid missing %v", k)
+			}
+			e := math.Abs(sr.Stats.IPC()-er.Stats.IPC()) / er.Stats.IPC()
+			sumErr += e
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		meanErr = sumErr / float64(len(exact))
+		// Both rates count the full per-cell budget (warmup + measured):
+		// the sampled rate is "effective" — instructions the run accounts
+		// for per wall-clock second, most of them fast-forwarded.
+		budget := float64(len(cfgs)*len(names)) * float64(insts+warmup)
+		exactRate = budget / exactSec
+		sampledRate = budget / sampledSec
+		speedup = exactSec / sampledSec
+	}
+	b.ReportMetric(exactRate, "exact-inst/s")
+	b.ReportMetric(sampledRate, "sampled-effective-inst/s")
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(100*meanErr, "mean-abs-ipc-err-%")
+	b.ReportMetric(100*maxErr, "max-abs-ipc-err-%")
 }
 
 // --- component micro-benchmarks ---

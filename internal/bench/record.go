@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/version"
 )
 
 // Spec names one recordable benchmark.
@@ -27,6 +31,7 @@ func Specs() []Spec {
 	return []Spec{
 		{Name: "Fig6Speedup", Fn: Fig6Speedup, Headline: true},
 		{Name: "BatchedGrid", Fn: BatchedGrid, Headline: true},
+		{Name: "SampledGrid", Fn: SampledGrid, Headline: true},
 		{Name: "SimulatorThroughput", Fn: SimulatorThroughput, Headline: true},
 		{Name: "Table1AreaModel", Fn: Table1AreaModel},
 		{Name: "Section32Layout", Fn: Section32Layout},
@@ -74,8 +79,15 @@ type File struct {
 	GOOS       string    `json:"goos"`
 	GOARCH     string    `json:"goarch"`
 	NumCPU     int       `json:"num_cpu"`
-	Note       string    `json:"note,omitempty"`
-	Benchmarks []Result  `json:"benchmarks"`
+	// GOMAXPROCS is the worker-pool parallelism the grid benchmarks ran
+	// with — without it two snapshots on the same machine are not
+	// comparable (a container may cap it well below NumCPU).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GitSHA is the repository revision the snapshot measured ("unknown"
+	// when neither the build info nor git can supply one).
+	GitSHA     string   `json:"git_sha"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
 }
 
 // SchemaV1 is the current snapshot schema identifier.
@@ -115,9 +127,25 @@ func NewFile(note string, results []Result) File {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
 		Note:       note,
 		Benchmarks: results,
 	}
+}
+
+// gitSHA resolves the repository revision being measured: the VCS stamp
+// baked into the binary when present, otherwise (benchrec usually runs
+// via `go run`, which does not stamp) the working tree's HEAD via git.
+func gitSHA() string {
+	if rev := version.Revision(); rev != "unknown" {
+		return rev
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // NextSnapshotPath returns dir/BENCH_<n>.json for the smallest n ≥ 1 not

@@ -272,6 +272,19 @@ type Machine struct {
 	lastCommitAt   uint64
 	dcachePortsUse int
 	err            error // fatal stream error
+	// fetchStop suspends the fetch stage while the sampled-execution
+	// drain empties the pipeline (see DrainPipeline); it is never set on
+	// the exact path, so normal runs are untouched.
+	fetchStop bool
+	// ffInsts counts instructions consumed by FunctionalAdvance since the
+	// last Reset — kept outside Stats so exact-run stats stay bit-identical.
+	ffInsts uint64
+	// ffMix holds the per-stream fast-forward interleave weights (see
+	// SetFFMix); empty means uniform.
+	ffMix []uint64
+	// cov accumulates the sampling covariates (see Covariates); both
+	// execution modes update it, only the sampled harness reads it.
+	cov Covariates
 
 	stats Stats
 	// streamStats holds the per-stream counters; Stats() attaches a copy
@@ -438,6 +451,10 @@ func (m *Machine) ResetMulti(cfg Config, streams []trace.Stream) error {
 	m.lineShift = uint(bits.TrailingZeros64(uint64(cfg.Mem.L1I.LineBytes)))
 	m.lastCommitAt = 0
 	m.dcachePortsUse = 0
+	m.fetchStop = false
+	m.ffInsts = 0
+	m.ffMix = m.ffMix[:0]
+	m.cov = Covariates{}
 	m.oracle = nil
 	m.oracleIdx = 0
 	m.err = nil
@@ -720,9 +737,10 @@ func (m *Machine) fastForward(maxCycles uint64) bool {
 	}
 
 	// Fetch: quiet while the queue is full (dispatch drains it, and
-	// dispatch is inert below) or no stream may fetch; the earliest
-	// I-cache refill re-activates a stream.
-	if !m.fetchQ.Full() {
+	// dispatch is inert below), fetch is suspended for a sampled-mode
+	// drain, or no stream may fetch; the earliest I-cache refill
+	// re-activates a stream.
+	if !m.fetchQ.Full() && !m.fetchStop {
 		for i := range m.fes {
 			fe := &m.fes[i]
 			if fe.fetchBlocked || (fe.streamDone && !fe.havePending) {

@@ -119,7 +119,7 @@ func (m *Machine) commit() {
 			if le.isStore {
 				// Committed stores update the data cache off the
 				// critical path.
-				m.mem.DataAccess(le.addr, true)
+				m.cov.DLat += uint64(m.mem.DataAccess(le.addr, true))
 				m.stats.Stores++
 				m.streamStats[e.stream].Stores++
 				// Retire the forwarding-map entry if this store is still
@@ -324,7 +324,9 @@ func (m *Machine) tryExecuteLoad(e *robEntry, c int) (lat int, ok bool) {
 	}
 	m.dcachePortsUse++
 	transit := m.cfg.Mem.ClusterTransit
-	return 1 + 2*transit + m.mem.DataAccess(e.effAddr, false), true
+	dlat := m.mem.DataAccess(e.effAddr, false)
+	m.cov.DLat += uint64(dlat)
+	return 1 + 2*transit + dlat, true
 }
 
 // issueSide walks one cluster's ready list (one side), issuing
@@ -800,6 +802,9 @@ func (m *Machine) pickFetchStream() (*streamFE, uint8) {
 // cycle's stream; a mispredict or I-cache miss blocks only its own
 // stream, and the others compete for the very next cycle.
 func (m *Machine) fetch() {
+	if m.fetchStop {
+		return
+	}
 	sfe, sidx := m.pickFetchStream()
 	if sfe == nil {
 		return
@@ -853,6 +858,7 @@ func (m *Machine) fetch() {
 				line := (in.PC + sfe.off) >> m.lineShift
 				if !sfe.haveFetchLine || line != sfe.lastFetchLine {
 					lat := m.mem.InstFetch(in.PC + sfe.off)
+					m.cov.ILat += uint64(lat)
 					sfe.lastFetchLine = line
 					sfe.haveFetchLine = true
 					if lat > m.cfg.Mem.L1I.HitLatency {
@@ -894,7 +900,9 @@ func (m *Machine) fetch() {
 				}
 				fe.mispredict = m.pred.Update(in.PC+sfe.off, in.Taken, tgt)
 			}
+			m.cov.Branches++
 			if fe.mispredict {
+				m.cov.Mispredicts++
 				sfe.fetchBlocked = true
 				return
 			}

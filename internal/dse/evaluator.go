@@ -30,6 +30,18 @@ type Evaluator interface {
 	Evaluate(cfg core.Config, programs []string) (Objectives, EvalStats, error)
 }
 
+// FidelityEvaluator is an optional extension of Evaluator: an
+// implementation that can derive a variant of itself running at a given
+// sampling fidelity (harness.ExecuteSampled). The engine uses it to run
+// an exploration's search tier sampled while keeping the original
+// evaluator for the exact confirmation of the final frontier; the two
+// variants share the result store, and sampled results key distinctly
+// from exact ones, so the tiers never contaminate each other's cache.
+type FidelityEvaluator interface {
+	Evaluator
+	WithSampling(harness.Sampling) Evaluator
+}
+
 // BatchEvaluator is an optional extension of Evaluator: an implementation
 // that can score a whole batch of candidates in one call, letting
 // candidates sharing a workload execute as lockstep batch groups over one
@@ -53,11 +65,28 @@ type SimEvaluator struct {
 	Programs []string
 	// Insts and Warmup are the harness.Request scalars.
 	Insts, Warmup uint64
+	// Sampling selects the execution fidelity of every program run (zero
+	// value = exact). It flows into the request's content key, so sampled
+	// scores never collide with exact ones in the Store.
+	Sampling harness.Sampling
 	// Store caches results by content hash; nil means a private
 	// in-memory LRU (cache hits then only occur within one exploration).
 	Store results.Store
 
 	once sync.Once
+}
+
+// WithSampling implements FidelityEvaluator: the returned evaluator runs
+// every program at the given fidelity and shares this evaluator's store.
+func (e *SimEvaluator) WithSampling(sp harness.Sampling) Evaluator {
+	e.init()
+	return &SimEvaluator{
+		Programs: e.Programs,
+		Insts:    e.Insts,
+		Warmup:   e.Warmup,
+		Sampling: sp,
+		Store:    e.Store,
+	}
 }
 
 // init lazily defaults the store so the zero-value evaluator works.
@@ -86,7 +115,7 @@ func (e *SimEvaluator) Evaluate(cfg core.Config, programs []string) (Objectives,
 		if err != nil {
 			return Objectives{}, st, err
 		}
-		req := harness.Request{Config: cfg, Workload: spec, Insts: e.Insts, Warmup: e.Warmup}
+		req := harness.Request{Config: cfg, Workload: spec, Insts: e.Insts, Warmup: e.Warmup, Sampling: e.Sampling}
 		key, err := results.NewRequest(req).Key()
 		if err != nil {
 			return Objectives{}, st, err
@@ -156,7 +185,7 @@ func (e *SimEvaluator) EvaluateBatch(cfgs []core.Config, programs [][]string) ([
 				errs[i] = err
 				break
 			}
-			req := harness.Request{Config: cfg, Workload: spec, Insts: e.Insts, Warmup: e.Warmup}
+			req := harness.Request{Config: cfg, Workload: spec, Insts: e.Insts, Warmup: e.Warmup, Sampling: e.Sampling}
 			key, err := results.NewRequest(req).Key()
 			if err != nil {
 				errs[i] = err

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 )
 
 // Options configures one exploration.
@@ -31,6 +32,13 @@ type Options struct {
 	// Twin, when non-nil with Mode on/auto, gates the simulator behind
 	// the analytical twin (see twin.go). Nil = exact exhaustive path.
 	Twin *TwinOptions
+	// Sampling, when enabled, runs the search tier at sampled fidelity
+	// (harness.ExecuteSampled) and re-scores the resulting frontier
+	// exactly, so the reported frontier objectives are always exact
+	// numbers. Requires an Evaluator implementing FidelityEvaluator.
+	// Combined with the twin this yields three cost tiers: closed-form
+	// scoring, sampled verification, exact frontier confirmation.
+	Sampling harness.Sampling
 }
 
 // Report is the outcome of an exploration.
@@ -73,6 +81,16 @@ type Report struct {
 	SimsAvoided     int     `json:"sims_avoided,omitempty"`
 	TwinVerified    int     `json:"twin_verified,omitempty"`
 	TwinMAPE        float64 `json:"twin_mape,omitempty"`
+
+	// Fidelity accounting, populated when the search tier ran at sampled
+	// fidelity. Fidelity is the canonical sampling spelling
+	// ("sampled(interval,window,warm)"); SampledSims counts program runs
+	// executed sampled; ExactConfirms counts frontier candidates
+	// re-scored exactly in the confirmation tier, whose objectives are
+	// the ones the final frontier reports.
+	Fidelity      string `json:"fidelity,omitempty"`
+	SampledSims   int    `json:"sampled_sims,omitempty"`
+	ExactConfirms int    `json:"exact_confirms,omitempty"`
 }
 
 // CacheHitRate returns the fraction of program runs served from cache.
@@ -106,10 +124,14 @@ func Explore(opts Options) (*Report, error) {
 	if workers <= 0 {
 		workers = Concurrency()
 	}
+	ev, exact, err := fidelityTiers(opts.Evaluator, opts.Sampling)
+	if err != nil {
+		return nil, err
+	}
 	if twin, err := opts.Twin.Enabled(opts.Strategy, opts.Space.Size()); err != nil {
 		return nil, err
 	} else if twin {
-		return exploreTwin(opts, budget, workers)
+		return exploreTwin(opts, ev, exact, budget, workers)
 	}
 
 	st := &State{
@@ -120,6 +142,9 @@ func Explore(opts Options) (*Report, error) {
 		Seen:      make(map[string]bool),
 	}
 	rep := &Report{Strategy: opts.Strategy.Name(), SpaceSize: opts.Space.Size()}
+	if exact != nil {
+		rep.Fidelity = opts.Sampling.String()
+	}
 
 	for rep.Evaluated+rep.Skipped+rep.Failed < budget {
 		batch := opts.Strategy.Next(st)
@@ -144,10 +169,13 @@ func Explore(opts Options) (*Report, error) {
 			st.Round++
 			continue
 		}
-		outs := evaluateBatch(&opts.Space, opts.Evaluator, fresh, workers)
+		outs := evaluateBatch(&opts.Space, ev, fresh, workers)
 		for i, o := range outs {
 			rep.SimsRun += o.stats.Sims
 			rep.CacheHits += o.stats.CacheHits
+			if exact != nil {
+				rep.SampledSims += o.stats.Sims
+			}
 			switch {
 			case o.invalid:
 				rep.Skipped++
@@ -172,7 +200,63 @@ func Explore(opts Options) (*Report, error) {
 	if rep.Evaluated == 0 {
 		return rep, fmt.Errorf("dse: no candidate evaluated (%d invalid, %d failed)", rep.Skipped, rep.Failed)
 	}
+	if exact != nil {
+		confirmFrontierExact(&opts.Space, exact, rep, workers)
+		if opts.Observer != nil {
+			opts.Observer(rep)
+		}
+	}
 	return rep, nil
+}
+
+// fidelityTiers resolves the evaluators of a possibly-sampled
+// exploration: ev scores the search tier (sampled when sp is enabled),
+// and exact is non-nil exactly when a final exact confirmation tier is
+// required.
+func fidelityTiers(base Evaluator, sp harness.Sampling) (ev, exact Evaluator, err error) {
+	if !sp.Enabled() {
+		return base, nil, nil
+	}
+	fe, ok := base.(FidelityEvaluator)
+	if !ok {
+		return nil, nil, fmt.Errorf("dse: evaluator %T cannot run at sampled fidelity", base)
+	}
+	return fe.WithSampling(sp), base, nil
+}
+
+// confirmFrontierExact re-scores the frontier candidates of a sampled
+// search with the exact evaluator and replaces the frontier with the
+// exact objectives. The sampled tier only decided which candidates are
+// worth exact simulation; the numbers the frontier reports are always
+// exact. Candidates whose exact run fails stay out of the frontier and
+// count as Failed; if every confirmation fails the sampled frontier is
+// kept rather than reporting an empty one.
+func confirmFrontierExact(space *Space, exact Evaluator, rep *Report, workers int) {
+	if len(rep.Frontier) == 0 {
+		return
+	}
+	cands := make([]Candidate, len(rep.Frontier))
+	for i, p := range rep.Frontier {
+		cands[i] = p.Candidate
+	}
+	outs := evaluateBatch(space, exact, cands, workers)
+	frontier := &Frontier{}
+	for i, o := range outs {
+		rep.SimsRun += o.stats.Sims
+		rep.CacheHits += o.stats.CacheHits
+		switch {
+		case o.invalid:
+			// Cannot happen for an already-evaluated candidate; skip.
+		case o.err != nil:
+			rep.Failed++
+		default:
+			rep.ExactConfirms++
+			frontier.Add(Point{Candidate: cands[i], Config: o.config, Objectives: o.obj})
+		}
+	}
+	if rep.ExactConfirms > 0 {
+		rep.Frontier = frontier.Points()
+	}
 }
 
 // outcome is one candidate's evaluation result.

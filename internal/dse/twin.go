@@ -110,15 +110,17 @@ type twinScore struct {
 	invalid  bool
 }
 
-// exploreTwin is the two-tier engine: the twin scores every candidate of
+// exploreTwin is the tiered engine: the twin scores every candidate of
 // the grid, the simulator verifies only the candidates whose predicted
 // IPC is within ε of the best prediction at their area or below (a
 // superset of the predicted Pareto frontier, since area is exact), and
 // predicted-vs-simulated error is reported as first-class accounting.
 // The returned frontier equals the exhaustive one whenever the model
 // ranks the true frontier within ε — the property the calibration tests
-// pin.
-func exploreTwin(opts Options, budget, workers int) (*Report, error) {
+// pin. ev is the verification-tier evaluator; with Options.Sampling
+// enabled it runs sampled and exact is non-nil, adding a third tier
+// that re-scores the frontier exactly (closed-form → sampled → exact).
+func exploreTwin(opts Options, ev, exact Evaluator, budget, workers int) (*Report, error) {
 	t := opts.Twin
 	profiles := t.Profiles
 	if profiles == nil {
@@ -133,6 +135,9 @@ func exploreTwin(opts Options, budget, workers int) (*Report, error) {
 		Strategy:  opts.Strategy.Name(),
 		TwinMode:  string(TwinOn),
 		SpaceSize: space.Size(),
+	}
+	if exact != nil {
+		rep.Fidelity = opts.Sampling.String()
 	}
 
 	// Tier 1: closed-form scores for the whole grid.
@@ -227,12 +232,15 @@ func exploreTwin(opts Options, budget, workers int) (*Report, error) {
 		batch[i] = s.cand
 	}
 	frontier := &Frontier{}
-	outs := evaluateBatch(space, opts.Evaluator, batch, workers)
+	outs := evaluateBatch(space, ev, batch, workers)
 	var mapeSum float64
 	var mapeN int
 	for i, o := range outs {
 		rep.SimsRun += o.stats.Sims
 		rep.CacheHits += o.stats.CacheHits
+		if exact != nil {
+			rep.SampledSims += o.stats.Sims
+		}
 		switch {
 		case o.invalid:
 			rep.Skipped++
@@ -260,6 +268,12 @@ func exploreTwin(opts Options, budget, workers int) (*Report, error) {
 	}
 	if rep.Evaluated == 0 {
 		return rep, fmt.Errorf("dse: no candidate evaluated (%d invalid, %d failed)", rep.Skipped, rep.Failed)
+	}
+	if exact != nil {
+		confirmFrontierExact(space, exact, rep, workers)
+		if opts.Observer != nil {
+			opts.Observer(rep)
+		}
 	}
 	return rep, nil
 }

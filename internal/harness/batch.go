@@ -80,12 +80,14 @@ func DefaultBatchSize() int {
 }
 
 // groupKey identifies requests that can share one materialized workload:
-// same canonical spec (which encodes per-stream budgets and seeds) and
-// same request-level budgets.
+// same canonical spec (which encodes per-stream budgets and seeds),
+// same request-level budgets, and same fidelity (sampled requests never
+// group with exact ones — their execution schedules differ).
 type groupKey struct {
-	name   string
-	insts  uint64
-	warmup uint64
+	name     string
+	insts    uint64
+	warmup   uint64
+	sampling Sampling
 }
 
 // requestGroups partitions request indices into groups of at most
@@ -98,7 +100,7 @@ func requestGroups(reqs []Request, maxGroup int) [][]int {
 	var groups [][]int
 	open := make(map[groupKey]int) // key -> index into groups of the open group
 	for i := range reqs {
-		k := groupKey{name: reqs[i].Workload.Name(), insts: reqs[i].Insts, warmup: reqs[i].Warmup}
+		k := groupKey{name: reqs[i].Workload.Name(), insts: reqs[i].Insts, warmup: reqs[i].Warmup, sampling: reqs[i].Sampling}
 		gi, ok := open[k]
 		if !ok || len(groups[gi]) >= maxGroup {
 			open[k] = len(groups)
@@ -192,6 +194,15 @@ func groupStreams(spec workload.Spec, insts, warmup uint64) ([][]isa.Inst, error
 func executeGroup(reqs []Request, idxs []int, results []Run) {
 	if len(idxs) == 1 {
 		results[idxs[0]] = Execute(reqs[idxs[0]])
+		return
+	}
+	if reqs[idxs[0]].Sampling.Enabled() {
+		// Sampled members cannot run in lockstep (fast-forward spans and
+		// drains desynchronize the shared-trace schedule), but they still
+		// share the materialized trace through the cache.
+		for _, ri := range idxs {
+			results[ri] = Execute(reqs[ri])
+		}
 		return
 	}
 	// All members share spec/insts/warmup by construction.

@@ -29,7 +29,12 @@ type Run struct {
 	Workload string
 	Class    workload.ProgramClass
 	Stats    core.Stats
-	Err      error
+	// Sampled is set when the run executed with interval sampling:
+	// Stats are extrapolated from the measured windows, and Sampled
+	// carries the window accounting and per-metric standard errors.
+	// Exact runs leave it nil.
+	Sampled *SampledInfo
+	Err     error
 }
 
 // Key identifies a run within a result set.
@@ -56,6 +61,10 @@ type Request struct {
 	// It is a machine-wide commit count, drawn from the streams by the
 	// same arbitration as the measured window.
 	Warmup uint64
+	// Sampling selects the execution fidelity: the zero value is exact
+	// cycle-accurate simulation of the full budget; an enabled value
+	// runs SMARTS-style interval sampling (see ExecuteSampled).
+	Sampling Sampling
 }
 
 // machinePool recycles simulator machines across Execute calls: a reset
@@ -72,6 +81,9 @@ var machinePool sync.Pool
 // on one machine under ICOUNT fetch arbitration, with per-stream
 // statistics attached to the returned Stats.
 func Execute(req Request) Run {
+	if req.Sampling.Enabled() {
+		return executeSampled(req)
+	}
 	spec := req.Workload
 	out := Run{Config: req.Config, Workload: spec.Name()}
 	if err := spec.Validate(); err != nil {
@@ -189,6 +201,24 @@ func ExpandSpecs(configs []core.Config, specs []workload.Spec, insts, warmup uin
 	return reqs
 }
 
+// ExpandSampled is Expand at a selected execution fidelity: every
+// request in the grid carries the sampling parameters (the zero value
+// keeps the grid exact). Fidelity is part of the request's content key,
+// so an exact and a sampled expansion of the same grid never share
+// cached results.
+func ExpandSampled(configs []core.Config, workloads []string, insts, warmup uint64, sp Sampling) ([]Request, error) {
+	reqs, err := Expand(configs, workloads, insts, warmup)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Enabled() {
+		for i := range reqs {
+			reqs[i].Sampling = sp
+		}
+	}
+	return reqs, nil
+}
+
 // Grid runs every (config, workload) pair across a fixed worker pool and
 // returns results keyed by configuration name and workload label.
 // Requests sharing a workload run as one batched lockstep group (see
@@ -205,7 +235,14 @@ func Grid(configs []core.Config, workloads []string, insts, warmup uint64) (map[
 // lockstep executor: 0 picks DefaultBatchSize, 1 disables grouping
 // entirely (every request simulates its own trace pass).
 func GridN(configs []core.Config, workloads []string, insts, warmup uint64, maxGroup int) (map[Key]Run, error) {
-	reqs, err := Expand(configs, workloads, insts, warmup)
+	return GridSampledN(configs, workloads, insts, warmup, maxGroup, Sampling{})
+}
+
+// GridSampledN is GridN at a selected execution fidelity: the zero
+// Sampling value runs the grid exact, an enabled one runs every cell
+// with interval sampling (see ExecuteSampled).
+func GridSampledN(configs []core.Config, workloads []string, insts, warmup uint64, maxGroup int, sp Sampling) (map[Key]Run, error) {
+	reqs, err := ExpandSampled(configs, workloads, insts, warmup, sp)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,19 @@ type Request struct {
 	Streams []Stream    `json:"streams,omitempty"`
 	Insts   uint64      `json:"insts"`
 	Warmup  uint64      `json:"warmup"`
+	// Sampled carries the interval-sampling parameters of a sampled
+	// request and is omitted entirely for exact requests, so every
+	// historical exact content key is untouched while sampled results
+	// can never collide with exact ones.
+	Sampled *SampledParams `json:"sampled,omitempty"`
+}
+
+// SampledParams is the wire form of harness.Sampling (fidelity folded
+// into the canonical request bytes).
+type SampledParams struct {
+	Interval uint64 `json:"interval"`
+	Window   uint64 `json:"window"`
+	Warm     uint64 `json:"warm"`
 }
 
 // NewRequest wraps a harness request in its wire form.
@@ -66,6 +79,9 @@ func NewRequest(req harness.Request) Request {
 		Config: req.Config,
 		Insts:  req.Insts,
 		Warmup: req.Warmup,
+	}
+	if sp := req.Sampling; sp.Enabled() {
+		r.Sampled = &SampledParams{Interval: sp.Interval, Window: sp.Window, Warm: sp.Warm}
 	}
 	if name, ok := req.Workload.SingleProgram(); ok {
 		r.Program = name
@@ -96,12 +112,16 @@ func (r Request) WorkloadLabel() string { return r.Spec().Name() }
 
 // Harness converts the wire form back into an executable request.
 func (r Request) Harness() harness.Request {
-	return harness.Request{
+	hr := harness.Request{
 		Config:   r.Config,
 		Workload: r.Spec(),
 		Insts:    r.Insts,
 		Warmup:   r.Warmup,
 	}
+	if r.Sampled != nil {
+		hr.Sampling = harness.Sampling{Interval: r.Sampled.Interval, Window: r.Sampled.Window, Warm: r.Sampled.Warm}
+	}
+	return hr
 }
 
 // Canonical returns the canonical JSON encoding of the request: object
@@ -203,8 +223,12 @@ type Result struct {
 	Program string `json:"program"`
 	// Class is the workload's suite class ("INT", "FP" or "MIX").
 	Class string `json:"class"`
-	// Stats holds every counter the run measured.
+	// Stats holds every counter the run measured. For sampled runs they
+	// are extrapolated from the measured windows (see Sampled).
 	Stats core.Stats `json:"stats"`
+	// Sampled carries the sampling accounting and per-metric standard
+	// errors of a sampled run; exact results omit it.
+	Sampled *harness.SampledInfo `json:"sampled,omitempty"`
 	// Err is the simulation error, empty on success.
 	Err string `json:"error,omitempty"`
 }
@@ -223,6 +247,7 @@ func FromRun(req harness.Request, run harness.Run) (Result, error) {
 		Program: run.Workload,
 		Class:   run.Class.String(),
 		Stats:   run.Stats,
+		Sampled: run.Sampled,
 	}
 	if run.Err != nil {
 		out.Err = run.Err.Error()

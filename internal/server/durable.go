@@ -278,7 +278,7 @@ func (s *Server) recoverExplore(id string, m results.Manifest) {
 		_ = s.opts.Journal.Append(journal.Record{Op: journal.OpManifestDone, Manifest: id})
 		return
 	}
-	space, strat, programs, twin, err := s.resolveExplore(&er)
+	space, strat, programs, twin, sp, err := s.resolveExplore(&er)
 	if err != nil {
 		// The request no longer resolves (e.g. a renamed config profile
 		// across versions): it can never finish, so retire the manifest
@@ -298,7 +298,7 @@ func (s *Server) recoverExplore(id string, m results.Manifest) {
 	s.evictExploresLocked()
 	s.exploreWG.Add(1)
 	s.mu.Unlock()
-	go s.driveExplore(st, space, strat, programs, twin, er)
+	go s.driveExplore(st, space, strat, programs, twin, sp, er)
 }
 
 // --- re-attach fallbacks ---

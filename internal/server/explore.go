@@ -60,6 +60,10 @@ type exploreRequest struct {
 	// (0 = dse.DefaultTwinEpsilon; negative = exactly the predicted
 	// frontier).
 	TwinEpsilon float64 `json:"twin_epsilon,omitempty"`
+	// Fidelity selects the search tier's execution fidelity ("exact" or
+	// "sampled(interval,window,warm)"); the final frontier is always
+	// re-scored exactly. Empty inherits the server's -fidelity default.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // exploreState tracks one exploration through its registry.
@@ -96,6 +100,12 @@ type exploreView struct {
 	SimsAvoided     int     `json:"sims_avoided,omitempty"`
 	TwinVerified    int     `json:"twin_verified,omitempty"`
 	TwinMAPE        float64 `json:"twin_mape,omitempty"`
+
+	// Fidelity accounting, present only when the search tier ran sampled
+	// (see dse.Report).
+	Fidelity      string `json:"fidelity,omitempty"`
+	SampledSims   int    `json:"sampled_sims,omitempty"`
+	ExactConfirms int    `json:"exact_confirms,omitempty"`
 }
 
 // snapshotReport projects a (running or final) dse report into the wire
@@ -117,6 +127,9 @@ func snapshotReport(v *exploreView, rep *dse.Report, includePoints bool) {
 	v.SimsAvoided = rep.SimsAvoided
 	v.TwinVerified = rep.TwinVerified
 	v.TwinMAPE = rep.TwinMAPE
+	v.Fidelity = rep.Fidelity
+	v.SampledSims = rep.SampledSims
+	v.ExactConfirms = rep.ExactConfirms
 	v.Frontier = append([]dse.Point(nil), rep.Frontier...)
 	if includePoints {
 		v.Points = append([]dse.Point(nil), rep.Points...)
@@ -130,7 +143,7 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	space, strat, programs, twin, err := s.resolveExplore(&er)
+	space, strat, programs, twin, sp, err := s.resolveExplore(&er)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -171,23 +184,26 @@ func (s *Server) handleSubmitExplore(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ExploresSubmitted.Add(1)
 	s.journalManifestOpen(id, manifest)
 
-	go s.driveExplore(st, space, strat, programs, twin, er)
+	go s.driveExplore(st, space, strat, programs, twin, sp, er)
 	writeJSON(w, http.StatusAccepted, v)
 }
 
 // resolveExplore turns the wire request into a validated space, strategy,
-// program list, and twin mode.
-func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []string, dse.TwinMode, error) {
+// program list, twin mode, and search-tier sampling fidelity.
+func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []string, dse.TwinMode, harness.Sampling, error) {
+	fail := func(err error) (dse.Space, dse.Strategy, []string, dse.TwinMode, harness.Sampling, error) {
+		return dse.Space{}, nil, nil, "", harness.Sampling{}, err
+	}
 	base := core.MustPaperConfig(core.ArchRing, 8, 2, 1)
 	if er.Base != nil {
 		var err error
 		if base, err = er.Base.resolve(); err != nil {
-			return dse.Space{}, nil, nil, "", fmt.Errorf("base: %w", err)
+			return fail(fmt.Errorf("base: %w", err))
 		}
 	}
 	space := dse.Space{Base: base, Axes: er.Axes}
 	if err := space.Validate(); err != nil {
-		return dse.Space{}, nil, nil, "", err
+		return fail(err)
 	}
 	// Bound the grid: the exhaustive strategy materializes every point
 	// and the engine spawns a goroutine per batch member, so a huge
@@ -195,11 +211,11 @@ func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []
 	// (Space.Size saturates instead of overflowing, so the comparison is
 	// safe for any axis product.)
 	if space.Size() > maxExplorePoints {
-		return dse.Space{}, nil, nil, "", fmt.Errorf("space has %d points, limit %d: shrink an axis or use strategy random/climb over a sub-space", space.Size(), maxExplorePoints)
+		return fail(fmt.Errorf("space has %d points, limit %d: shrink an axis or use strategy random/climb over a sub-space", space.Size(), maxExplorePoints))
 	}
 	strat, err := dse.NewStrategy(er.Strategy, er.Samples)
 	if err != nil {
-		return dse.Space{}, nil, nil, "", err
+		return fail(err)
 	}
 	// The request's twin field wins; empty inherits the server's -twin
 	// default. An impossible combination (twin=on with a non-grid
@@ -210,10 +226,16 @@ func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []
 	}
 	twin, err := dse.ParseTwinMode(twinSpec)
 	if err != nil {
-		return dse.Space{}, nil, nil, "", err
+		return fail(err)
 	}
 	if _, err := (&dse.TwinOptions{Mode: twin}).Enabled(strat, space.Size()); err != nil {
-		return dse.Space{}, nil, nil, "", err
+		return fail(err)
+	}
+	// Like -twin, fidelity is validated at submit time so a typo is a 400,
+	// not an asynchronous exploration failure.
+	sp, err := s.resolveFidelity(er.Fidelity)
+	if err != nil {
+		return fail(err)
 	}
 	programs := er.Programs
 	if len(programs) == 0 {
@@ -224,20 +246,20 @@ func (s *Server) resolveExplore(er *exploreRequest) (dse.Space, dse.Strategy, []
 		// may be multi-stream specs or synthetic workloads.
 		spec, err := workload.ParseSpec(p)
 		if err != nil {
-			return dse.Space{}, nil, nil, "", err
+			return fail(err)
 		}
 		if err := spec.Validate(); err != nil {
-			return dse.Space{}, nil, nil, "", err
+			return fail(err)
 		}
 	}
 	if er.Insts == 0 {
-		return dse.Space{}, nil, nil, "", errors.New("insts must be positive")
+		return fail(errors.New("insts must be positive"))
 	}
-	return space, strat, programs, twin, nil
+	return space, strat, programs, twin, sp, nil
 }
 
 // driveExplore runs the engine to completion and finalizes the state.
-func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strategy, programs []string, twin dse.TwinMode, er exploreRequest) {
+func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strategy, programs []string, twin dse.TwinMode, sp harness.Sampling, er exploreRequest) {
 	defer s.exploreWG.Done()
 	ev := &queueEvaluator{s: s, programs: programs, insts: er.Insts, warmup: er.Warmup}
 	rep, err := dse.Explore(dse.Options{
@@ -246,6 +268,7 @@ func (s *Server) driveExplore(st *exploreState, space dse.Space, strat dse.Strat
 		Evaluator:   ev,
 		Budget:      er.Budget,
 		Seed:        er.Seed,
+		Sampling:    sp,
 		Concurrency: s.opts.Workers,
 		Twin: &dse.TwinOptions{
 			Mode:     twin,
@@ -337,6 +360,17 @@ type queueEvaluator struct {
 	s             *Server
 	programs      []string
 	insts, warmup uint64
+	sampling      harness.Sampling
+}
+
+// WithSampling implements dse.FidelityEvaluator: the variant routes the
+// same runs through the same queue and store, but at sampled fidelity —
+// the sampled keys never collide with exact ones, so the search tier and
+// the exact confirmation tier coexist in one registry.
+func (e *queueEvaluator) WithSampling(sp harness.Sampling) dse.Evaluator {
+	v := *e
+	v.sampling = sp
+	return &v
 }
 
 // Evaluate implements dse.Evaluator. It blocks until every program run of
@@ -355,7 +389,7 @@ func (e *queueEvaluator) Evaluate(cfg core.Config, programs []string) (dse.Objec
 		if err != nil {
 			return dse.Objectives{}, est, err
 		}
-		req := harness.Request{Config: cfg, Workload: spec, Insts: e.insts, Warmup: e.warmup}
+		req := harness.Request{Config: cfg, Workload: spec, Insts: e.insts, Warmup: e.warmup, Sampling: e.sampling}
 		key, err := prepare(req)
 		if err != nil {
 			return dse.Objectives{}, est, err

@@ -337,6 +337,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			{"ringsimd_batch_runs_total", "Runs executed as members of a lockstep batch group.", "counter", bs.GroupedRuns},
 			{"ringsimd_batch_amortized_decodes_total", "Trace materializations avoided by lockstep grouping.", "counter", bs.AmortizedDecodes},
 		}...)
+	// Sampled simulation: how much of the instruction volume ran as cheap
+	// functional fast-forward instead of detailed timing.
+	ss := harness.SampledStatsSnapshot()
+	rows = append(rows,
+		[]struct {
+			name, help, kind string
+			val              uint64
+		}{
+			{"ringsimd_sampled_runs_total", "Simulations executed at sampled fidelity.", "counter", ss.Runs},
+			{"ringsimd_sampled_ff_insts_total", "Instructions retired by functional fast-forward in sampled runs.", "counter", ss.FFInsts},
+			{"ringsimd_sampled_detailed_insts_total", "Instructions retired by detailed windows in sampled runs.", "counter", ss.DetailedInsts},
+		}...)
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.val)
 	}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/results"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -94,6 +95,12 @@ type Options struct {
 	// for explorations whose request omits the twin field. Empty means
 	// off. Requests may override per-exploration.
 	Twin string
+	// Fidelity is the default execution fidelity ("exact", "sampled", or
+	// "sampled(interval,window,warm)") for runs, sweeps, and explorations
+	// whose request omits the fidelity field. Empty means exact. Requests
+	// may override per-submission; both the default and overrides are
+	// validated at submit time, like Twin.
+	Fidelity string
 	// Journal, when non-nil, makes the control plane crash-safe: every
 	// pending-pool mutation is journaled, sweeps and explorations
 	// persist durable manifests under their client-visible ids, and New
@@ -226,9 +233,12 @@ func New(opts Options) (*Server, error) {
 	if opts.Batch <= 0 {
 		opts.Batch = harness.DefaultBatchSize()
 	}
-	// Fail a misspelled default twin mode at startup, not on the first
-	// exploration that tries to inherit it.
+	// Fail a misspelled default twin mode or fidelity at startup, not on
+	// the first submission that tries to inherit it.
 	if _, err := dse.ParseTwinMode(opts.Twin); err != nil {
+		return nil, err
+	}
+	if _, err := harness.ParseFidelity(opts.Fidelity); err != nil {
 		return nil, err
 	}
 	s := &Server{
@@ -651,9 +661,23 @@ func (s *Server) feed(keys []string) {
 	}
 }
 
+// resolveFidelity resolves a submission's fidelity field against the
+// server default: the request's value wins, empty inherits
+// Options.Fidelity, and either is validated here — at submit time — so
+// a malformed fidelity is a synchronous 400, never an async run failure.
+func (s *Server) resolveFidelity(v string) (harness.Sampling, error) {
+	if v == "" {
+		v = s.opts.Fidelity
+	}
+	return harness.ParseFidelity(v)
+}
+
 // validate rejects malformed requests before they consume queue space.
 func validate(req harness.Request) error {
 	if err := req.Config.Validate(); err != nil {
+		return err
+	}
+	if err := req.Sampling.Validate(); err != nil {
 		return err
 	}
 	if req.Config.Name == "" {
@@ -706,6 +730,9 @@ type sweepRequest struct {
 	Programs []string     `json:"programs"`
 	Insts    uint64       `json:"insts"`
 	Warmup   uint64       `json:"warmup"`
+	// Fidelity applies one execution fidelity to every member (see
+	// runSubmission.Fidelity); empty inherits the server default.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // sweepView is the GET /v1/sweeps/{id} response body.
@@ -734,6 +761,12 @@ type runSubmission struct {
 	Streams []results.Stream `json:"streams"`
 	Insts   uint64           `json:"insts"`
 	Warmup  uint64           `json:"warmup"`
+	// Fidelity selects the execution mode: "exact", "sampled", or
+	// "sampled(interval,window,warm)". Empty inherits the server's
+	// default (Options.Fidelity). Sampled results carry extrapolated
+	// statistics plus standard errors and key distinctly from exact runs
+	// of the same grid cell.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // workloadSpec resolves the submission's workload.
@@ -771,7 +804,12 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	req := harness.Request{Config: cfg, Workload: spec, Insts: sub.Insts, Warmup: sub.Warmup}
+	sp, err := s.resolveFidelity(sub.Fidelity)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := harness.Request{Config: cfg, Workload: spec, Insts: sub.Insts, Warmup: sub.Warmup, Sampling: sp}
 	st, hit, err := s.submit(req)
 	if err != nil {
 		httpError(w, submitStatus(err), err)
@@ -827,7 +865,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	reqs, err := harness.Expand(configs, sr.Programs, sr.Insts, sr.Warmup)
+	sp, err := s.resolveFidelity(sr.Fidelity)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs, err := harness.ExpandSampled(configs, sr.Programs, sr.Insts, sr.Warmup, sp)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -988,12 +1031,13 @@ func (s *Server) viewSweepLocked(sw *sweepState) sweepView {
 	return v
 }
 
-// handleHealthz reports liveness and queue depth.
+// handleHealthz reports liveness, queue depth, and the build revision.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"queue_len": len(s.jobs),
 		"workers":   s.opts.Workers,
+		"version":   version.Revision(),
 	})
 }
 

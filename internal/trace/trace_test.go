@@ -103,6 +103,65 @@ func TestCollectMax(t *testing.T) {
 	}
 }
 
+// errStream replays its inner stream, then fails every pull with err
+// instead of ErrEnd — the shape of a decoder hitting a corrupt record.
+type errStream struct {
+	inner Stream
+	err   error
+}
+
+func (e *errStream) Next() (isa.Inst, error) {
+	in, err := e.inner.Next()
+	if errors.Is(err, ErrEnd) {
+		return isa.Inst{}, e.err
+	}
+	return in, err
+}
+
+func TestLimitPropagatesStreamError(t *testing.T) {
+	wantErr := errors.New("corrupt record")
+	l := NewLimit(&errStream{inner: NewSlice(mkInsts(2)), err: wantErr}, 5)
+	for i := 0; i < 2; i++ {
+		if _, err := l.Next(); err != nil {
+			t.Fatalf("instruction %d: %v", i, err)
+		}
+	}
+	// The inner error must surface as-is, not be masked into ErrEnd, and
+	// the wrapped stream must stay errored on every subsequent pull.
+	for i := 0; i < 2; i++ {
+		if _, err := l.Next(); !errors.Is(err, wantErr) {
+			t.Fatalf("pull %d after error: got %v, want %v", i, err, wantErr)
+		}
+	}
+}
+
+func TestSkipPropagatesStreamError(t *testing.T) {
+	wantErr := errors.New("corrupt record")
+	n, err := Skip(&errStream{inner: NewSlice(mkInsts(3)), err: wantErr}, 10)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("skip over errored stream: got %v, want %v", err, wantErr)
+	}
+	if n != 3 {
+		t.Fatalf("skip consumed %d before the error, want 3", n)
+	}
+}
+
+func TestCollectReturnsPartialOnError(t *testing.T) {
+	wantErr := errors.New("corrupt record")
+	got, err := Collect(&errStream{inner: NewSlice(mkInsts(4)), err: wantErr}, 0)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("collect over errored stream: got %v, want %v", err, wantErr)
+	}
+	if len(got) != 4 {
+		t.Fatalf("collect kept %d instructions before the error, want 4", len(got))
+	}
+	// With max below the error point the failure is never reached.
+	got, err = Collect(&errStream{inner: NewSlice(mkInsts(4)), err: wantErr}, 2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("collect with max 2: %d, %v", len(got), err)
+	}
+}
+
 func TestValidateCountsAndChecksOrder(t *testing.T) {
 	n, err := Validate(NewSlice(mkInsts(7)))
 	if err != nil || n != 7 {

@@ -1,0 +1,36 @@
+// Package version exposes the VCS revision baked into the binary by the
+// Go toolchain, so every service surface (CLI -version flags, the
+// ringsimd /healthz endpoint) reports exactly which commit it was built
+// from without any link-time flag plumbing.
+package version
+
+import "runtime/debug"
+
+// Revision returns the short VCS revision of the build, with a "-dirty"
+// suffix when the working tree had local modifications, or "unknown"
+// when the binary was built without VCS stamping (e.g. `go test`
+// binaries and builds outside a repository).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, suffix string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				suffix = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + suffix
+}

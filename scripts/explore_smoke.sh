@@ -79,4 +79,60 @@ fi
 grep -q 'legal values: on, off, auto' "$TMP/bad.log" \
     || { echo "explore-smoke: FAIL: bad -twin error does not list legal values"; cat "$TMP/bad.log"; exit 1; }
 
+# Sampled pass: the search tier runs at sampled fidelity (explicit small
+# parameters — the smoke budget is far below DefaultSampling's interval)
+# and the final frontier is re-scored exactly, so it must equal the
+# exhaustive frontier byte-for-byte. The fidelity line is the error gate:
+# a confirmed frontier that differed would mean sampled-tier error large
+# enough to misrank candidates at this budget.
+FIDELITY='sampled(4000,1000,500)'
+echo "explore-smoke: sampled pass (-fidelity $FIDELITY)"
+run_explore "$TMP/sampled.log" -twin off -fidelity "$FIDELITY"
+FIDLINE="$(sed -n 's/^fidelity: \(.*\) search tier (\([0-9][0-9]*\) sampled sims), \([0-9][0-9]*\) frontier candidates confirmed exact$/\1 \2 \3/p' "$TMP/sampled.log")"
+set -- $FIDLINE
+SPEC="${1:-}" SSIMS="${2:-}" CONFIRMS="${3:-}"
+[ "$SPEC" = "$FIDELITY" ] || { echo "explore-smoke: FAIL: no fidelity accounting in sampled pass"; cat "$TMP/sampled.log"; exit 1; }
+[ "${SSIMS:-0}" -gt 0 ] || { echo "explore-smoke: FAIL: sampled pass ran no sampled simulations"; cat "$TMP/sampled.log"; exit 1; }
+[ "${CONFIRMS:-0}" -gt 0 ] || { echo "explore-smoke: FAIL: sampled pass confirmed nothing exact"; cat "$TMP/sampled.log"; exit 1; }
+echo "explore-smoke: sampled pass: $SSIMS sampled sims, $CONFIRMS exact confirms"
+sed -n '/^Pareto frontier/,$p' "$TMP/sampled.log" >"$TMP/front4"
+cmp -s "$TMP/front3" "$TMP/front4" \
+    || { echo "explore-smoke: FAIL: sampled-confirmed frontier differs from the exhaustive frontier"; diff "$TMP/front3" "$TMP/front4" || true; exit 1; }
+
+# Bad fidelity values are refused at the flag, like bad -twin values.
+if "$TMP/bin/ringsim" explore -axes "$AXES" -progs "$PROGS" -fidelity fast >"$TMP/badfid.log" 2>&1; then
+    echo "explore-smoke: FAIL: -fidelity fast was accepted"; exit 1
+fi
+
+# Service side: a sampled run through ringsimd must surface the sampled
+# execution counters on /metrics.
+echo "explore-smoke: ringsimd sampled /metrics counters"
+go build -o "$TMP/bin/" ./cmd/ringsimd
+ADDR="127.0.0.1:18090"
+BASE="http://$ADDR"
+"$TMP/bin/ringsimd" -addr "$ADDR" -journal-dir none >"$TMP/ringsimd.log" 2>&1 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+KEY="$(curl -sf "$BASE/v1/runs" -d "{\"paper\":{\"arch\":\"ring\",\"clusters\":4,\"iw\":2,\"buses\":1},\"program\":\"gcc\",\"insts\":$INSTS,\"warmup\":$WARMUP,\"fidelity\":\"$FIDELITY\"}" \
+    | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -1)"
+[ -n "$KEY" ] || { echo "explore-smoke: FAIL: sampled /v1/runs submission rejected"; cat "$TMP/ringsimd.log"; exit 1; }
+for _ in $(seq 1 50); do
+    STATUS="$(curl -sf "$BASE/v1/runs/$KEY" | sed -n 's/.*"status": *"\([a-z]*\)".*/\1/p' | head -1)"
+    [ "$STATUS" = "done" ] && break
+    sleep 0.2
+done
+[ "$STATUS" = "done" ] || { echo "explore-smoke: FAIL: sampled run never finished (status: ${STATUS:-none})"; exit 1; }
+curl -sf "$BASE/metrics" >"$TMP/metrics.txt"
+for metric in ringsimd_sampled_runs_total ringsimd_sampled_ff_insts_total ringsimd_sampled_detailed_insts_total; do
+    grep -q "^$metric " "$TMP/metrics.txt" \
+        || { echo "explore-smoke: FAIL: /metrics lacks $metric"; exit 1; }
+done
+SAMPLED_RUNS="$(sed -n 's/^ringsimd_sampled_runs_total \([0-9][0-9]*\)$/\1/p' "$TMP/metrics.txt")"
+[ "${SAMPLED_RUNS:-0}" -ge 1 ] \
+    || { echo "explore-smoke: FAIL: ringsimd_sampled_runs_total is ${SAMPLED_RUNS:-0} after a sampled run"; exit 1; }
+
 echo "explore-smoke: PASS"
